@@ -1,0 +1,36 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module regenerates one experiment from the
+DESIGN.md index: it runs the sweep (every run budget-enforced and
+verified), prints the experiment's table or series, saves it under
+``benchmarks/results/``, and times a representative cell with
+pytest-benchmark so regressions in simulation cost are visible too.
+
+The printed quantity of record is always **MPC rounds** (and the other
+model metrics) — wall-clock numbers measure the *simulator*, not the
+algorithms, and are reported only as a convenience.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.records import RunRecord
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {experiment} =====\n"
+    print(banner + text)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def save_records(experiment: str, records: Iterable[RunRecord]) -> None:
+    """Persist raw records as JSON lines next to the formatted table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [record.to_json() for record in records]
+    (RESULTS_DIR / f"{experiment}.jsonl").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,68 @@
+"""E3 (Figure 2): derandomized Luby phases shrink the graph geometrically.
+
+Claim exhibited: the seed committed by the method of conditional
+expectations meets the estimator's family average every phase, so the
+active edge count decays at a steady geometric rate — the derandomization
+preserves randomized Luby's progress rather than merely terminating.
+
+Workload: Erdős–Rényi n = 512 (expected degree 16); the series records
+(phase, active vertices, active edges) until exhaustion.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_common import emit
+from repro.analysis.tables import format_series
+from repro.core.det_luby import det_luby_mis
+from repro.core.verify import verify_ruling_set
+from repro.graph import generators as gen
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.simulator import Simulator
+
+
+def run_traced(graph):
+    cfg = MPCConfig.sublinear(
+        graph.num_vertices, graph.num_edges, max_degree=graph.max_degree()
+    )
+    sim = Simulator(cfg)
+    dg = DistributedGraph.load(sim, graph)
+    trace = []
+    det_luby_mis(dg, in_set_key="mis", trace=trace)
+    members = dg.collect_marked("mis")
+    verify_ruling_set(graph, members, alpha=2, beta=1)
+    return trace
+
+
+def test_e3_residual_decay(benchmark):
+    graph = gen.gnp_random_graph(512, 16, 512, seed=77)
+    trace = run_traced(graph)
+    series = {
+        "active-vertices": [(phase, n) for phase, n, _ in trace],
+        "active-edges": [(phase, m) for phase, _, m in trace],
+    }
+    text = format_series(
+        series, "phase", "count",
+        title="E3: residual graph per derandomized Luby phase "
+        f"(ER n={graph.num_vertices}, m={graph.num_edges})",
+    )
+
+    # Measured decay factor per phase on the edge series.
+    edges = [m for _, _, m in trace if m > 0]
+    ratios = [b / a for a, b in zip(edges, edges[1:])]
+    text += "\n\nper-phase edge ratios: " + "  ".join(
+        f"{r:.3f}" for r in ratios
+    )
+    emit("e3_residual_decay", text)
+
+    # Every phase with >= 8 edges must remove a nontrivial fraction; the
+    # proven floor is n_act/8 endpoints, the empirical rate far stronger.
+    for before, after in zip(edges, edges[1:]):
+        if before >= 8:
+            assert after < before
+
+    benchmark.pedantic(
+        lambda: run_traced(gen.gnp_random_graph(256, 16, 256, seed=7)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,106 @@
+"""E8 (Table 4): LOCAL-model baselines vs the MPC algorithms.
+
+Claims exhibited:
+
+* Luby's MIS costs Θ(log n) LOCAL rounds, the bitwise ruling set costs
+  exactly ceil(log2 n) rounds with an O(log n) domination radius, and the
+  deterministic Linial-colouring MIS pays O(Δ² + log* n) rounds;
+* the deterministic MPC 2-ruling set achieves a *constant* radius (2)
+  where the deterministic LOCAL baseline only guarantees O(log n);
+  raw MPC round counts at these toy scales exceed the LOCAL baselines'
+  because every seed-search reduction is billed — the model-level
+  claims (radius, determinism certificates) are the reproduction
+  targets (see the honest note in EXPERIMENTS.md);
+* graph exponentiation computes G^2 balls in O(log r) rounds where the
+  memory budget permits (shown on bounded-degree graphs).
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_common import emit, save_records
+from repro.analysis.records import record_from_result
+from repro.analysis.tables import format_table
+from repro.core.exponentiation import grow_balls
+from repro.core.pipeline import solve_ruling_set
+from repro.core.verify import check_ruling_set
+from repro.graph import generators as gen
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.simulator import Simulator
+
+WORKLOADS = {
+    "er-256": lambda: gen.gnp_random_graph(256, 12, 256, seed=8),
+    "tree-256": lambda: gen.random_tree(256, seed=8),
+    "grid-16x16": lambda: gen.grid_graph(16, 16),
+}
+
+ALGORITHMS = [
+    "local-luby", "local-bitwise", "local-coloring-mis",
+    "det-ruling", "det-luby",
+]
+
+
+def test_e8_local_baselines(benchmark):
+    records = []
+    for name in sorted(WORKLOADS):
+        graph = WORKLOADS[name]()
+        for algorithm in ALGORITHMS:
+            result = solve_ruling_set(
+                graph, algorithm=algorithm, regime="sublinear"
+            )
+            measured = check_ruling_set(graph, result.members)
+            rounds = (
+                result.metrics.get("local_rounds", result.rounds)
+            )
+            records.append(
+                record_from_result(
+                    "e8_local_baselines", name, result,
+                    {
+                        "n": graph.num_vertices,
+                        "model_rounds": rounds,
+                        "model": (
+                            "LOCAL"
+                            if algorithm.startswith("local")
+                            else "MPC"
+                        ),
+                        "measured_beta": measured.measured_beta,
+                    },
+                )
+            )
+    save_records("e8_local_baselines", records)
+    text = format_table(
+        records,
+        columns=[
+            "workload", "algorithm", "model", "model_rounds",
+            "beta_claimed", "measured_beta", "size",
+        ],
+        title="E8: LOCAL baselines vs MPC algorithms",
+    )
+
+    # Exponentiation demo: radius-4 balls on a bounded-degree graph in
+    # O(log 4) doublings rather than 4 LOCAL rounds.
+    grid = gen.grid_graph(12, 12)
+    sim = Simulator(MPCConfig(num_machines=6, memory_words=60_000))
+    dg = DistributedGraph.load(sim, grid)
+    doublings = grow_balls(dg, 4)
+    text += (
+        f"\n\nexponentiation: radius-4 balls on a 12x12 grid via "
+        f"{doublings} doublings, {sim.metrics.rounds} MPC rounds"
+    )
+    emit("e8_local_baselines", text)
+    assert doublings == 2
+
+    # The MPC ruling set's measured radius must beat the bitwise LOCAL
+    # baseline's on every workload (2 vs Θ(log n)).
+    by_key = {(r.workload, r.algorithm): r for r in records}
+    for name in WORKLOADS:
+        det = by_key[(name, "det-ruling")]
+        agl = by_key[(name, "local-bitwise")]
+        assert det.get("measured_beta") <= agl.get("beta_claimed")
+
+    graph = WORKLOADS["er-256"]()
+    benchmark.pedantic(
+        lambda: solve_ruling_set(graph, algorithm="local-luby"),
+        rounds=1,
+        iterations=1,
+    )

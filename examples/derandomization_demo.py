@@ -1,0 +1,92 @@
+"""Watching the method of conditional expectations pick a seed.
+
+The deterministic algorithms' engine room: this example builds the Luby
+phase-1 estimator for a small graph, walks the two-stage seed selection
+(multiplier scan, then bit-by-bit offset fixing) with full commentary,
+and contrasts the guaranteed seed against the spread of random seeds.
+
+Run with::
+
+    python examples/derandomization_demo.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import generators
+from repro.core.det_luby import modulus_for
+from repro.derand.conditional import choose_seed, scan_order_a
+from repro.derand.estimator import ThresholdEstimator
+from repro.derand.family import Seed
+from repro.util.rng import SplitMix64
+
+
+def build_luby_estimator(graph):
+    """Phase-1 estimator: Psi(h) <= sum of degrees of Luby winners."""
+    p = modulus_for(graph.num_vertices)
+    est = ThresholdEstimator(p)
+    degree = graph.degrees()
+    for v in graph.vertices():
+        d_v = degree[v]
+        if d_v == 0:
+            continue
+        t_v = p // (2 * d_v)
+        est.add_vertex_term(v, t_v, d_v)
+        for u in graph.neighbors(v):
+            if (degree[u], u) > (d_v, v):
+                est.add_pair_term(v, t_v, u, p // (2 * degree[u]), -d_v)
+    return est, p
+
+
+def main(n: int = 60) -> None:
+    graph = generators.gnp_random_graph(n, 10, n, seed=13)
+    est, p = build_luby_estimator(graph)
+    print(f"graph: {graph}; hash field GF({p}); "
+          f"{est.num_terms} estimator terms")
+
+    expectation = est.expectation_x_p2() / (p * p)
+    print(f"family average E[Psi] = {expectation:.2f} "
+          f"(proven floor: active/8 = {n / 8:.1f})")
+
+    # Stage 1: scan multipliers until one meets the family average.
+    print("\nstage 1 — multiplier scan:")
+    for count, a in enumerate(scan_order_a(p), start=1):
+        conditional = est.cond_a_x_p(a) / p
+        verdict = "ACCEPT" if conditional >= expectation else "reject"
+        print(f"  a = {a:>4}: E[Psi | a] = {conditional:8.2f}  {verdict}")
+        if conditional >= expectation:
+            break
+        if count >= 8:
+            print("  ... (scan continues)")
+            break
+
+    # Full two-stage selection with its certificate.
+    seed, stats = choose_seed(est)
+    print(f"\nstage 2 fixed {stats.bits_fixed} offset bits")
+    print(
+        f"committed seed h(x) = ({seed.a}*x + {seed.b}) mod {p}: "
+        f"Psi = {stats.achieved_value} >= E[Psi] = {expectation:.2f}  ✔"
+    )
+
+    # Contrast: the distribution of Psi over random seeds.
+    rng = SplitMix64(seed=1)
+    draws = sorted(
+        est.value(Seed(rng.next_below(p), rng.next_below(p), p))
+        for _ in range(200)
+    )
+    below = sum(1 for v in draws if v < expectation)
+    print(
+        f"\n200 random seeds: min={draws[0]}, median={draws[100]}, "
+        f"max={draws[-1]}; {below} fall below the family average"
+    )
+    print(
+        "the deterministic selection never does — that inequality is the "
+        "whole\npoint: progress per phase becomes a certainty instead of "
+        "an expectation."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

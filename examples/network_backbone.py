@@ -1,0 +1,62 @@
+"""Landmark selection on a router network: the β-vs-rounds trade-off.
+
+Ruling sets are a standard tool for picking *landmarks* (backbone nodes,
+cache sites, monitoring points) in large networks: independence keeps
+landmarks spread out, domination bounds every node's distance to one.
+Raising β buys extra sparsification levels inside the MPC algorithm,
+which shrinks both the subproblem that must be solved exactly and the
+round bill — at the price of longer detours to the nearest landmark.
+
+The workload is a router-level topology with bounded port counts (an
+Erdős–Rényi graph with expected degree 24 — port limits keep real
+router graphs far from power-law hubs, and a bounded Δ is exactly what
+lets the MPC regime use genuinely small machines).
+
+Run with::
+
+    python examples/network_backbone.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import generators, solve_ruling_set
+from repro.core.verify import check_ruling_set
+
+
+def main(n: int = 512) -> None:
+    graph = generators.gnp_random_graph(n, 24, n, seed=11)
+    print(
+        f"router network: {graph}, max degree {graph.max_degree()} "
+        "(bounded port counts)"
+    )
+    print()
+    header = (
+        f"{'beta':>4}  {'landmarks':>9}  {'measured radius':>15}  "
+        f"{'MPC rounds':>10}  {'sparsify levels':>15}"
+    )
+    print(header)
+    print("-" * len(header))
+    for beta in (2, 3, 4):
+        result = solve_ruling_set(
+            graph, algorithm="det-ruling", beta=beta, regime="sublinear"
+        )
+        measured = check_ruling_set(graph, result.members)
+        print(
+            f"{beta:>4}  {result.size:>9}  "
+            f"{measured.measured_beta:>15}  {result.rounds:>10}  "
+            f"{result.metrics['alg_levels_built']:>15}"
+        )
+    print()
+    print(
+        "Reading: each extra unit of beta adds a sparsification level; "
+        "the deepest\nsubgraph shrinks geometrically, so it gathers onto "
+        "one machine sooner and\nthe round bill drops — the worst-case "
+        "detour to a landmark grows instead."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

@@ -1,0 +1,79 @@
+"""Crossbar switch scheduling via deterministic maximal matching.
+
+A network switch forwards packets by repeatedly picking a *matching*
+between input and output ports: no port may appear twice in one cell
+slot, and a maximal matching wastes no opportunistic slot.  Hardware
+schedulers (iSLIP and friends) want determinism — no retry storms, no
+unlucky slots — which is exactly what the derandomized Luby engine
+provides when run on the line graph of the demand graph.
+
+This example builds a bipartite demand graph (inputs × outputs with
+queued traffic), computes a deterministic maximal matching in simulated
+MPC, and drains the demand over successive slots.
+
+Run with::
+
+    python examples/switch_scheduling.py [ports]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GraphBuilder
+from repro.core.det_matching import solve_matching, verify_maximal_matching
+from repro.util.rng import SplitMix64
+
+
+def demand_graph(ports: int, flows: int, seed: int = 4):
+    """Bipartite demand: inputs 0..ports-1, outputs ports..2*ports-1."""
+    builder = GraphBuilder(2 * ports)
+    rng = SplitMix64(seed=seed)
+    while builder.num_edges < flows:
+        src = rng.next_below(ports)
+        dst = ports + rng.next_below(ports)
+        builder.add_edge(src, dst)
+    return builder.build()
+
+
+def main(ports: int = 24) -> None:
+    graph = demand_graph(ports, flows=3 * ports)
+    print(
+        f"demand graph: {ports} inputs x {ports} outputs, "
+        f"{graph.num_edges} queued flows"
+    )
+
+    remaining = set(graph.edges())
+    slot = 0
+    total_rounds = 0
+    while remaining:
+        builder = GraphBuilder(2 * ports)
+        builder.add_edges(remaining)
+        current = builder.build()
+        matching, metrics = solve_matching(current)
+        if not matching:
+            break
+        verify_maximal_matching(current, matching)
+        total_rounds += metrics["rounds"]
+        remaining -= set(matching)
+        slot += 1
+        print(
+            f"  slot {slot}: forwarded {len(matching)} flows "
+            f"({metrics['rounds']} MPC rounds, "
+            f"{len(remaining)} flows left)"
+        )
+
+    print(
+        f"\ndrained {graph.num_edges} flows in {slot} slots "
+        f"({total_rounds} MPC rounds total)"
+    )
+    print(
+        "determinism matters here: every slot's schedule is a pure "
+        "function of the\nqueue state — two line cards computing it "
+        "independently always agree."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

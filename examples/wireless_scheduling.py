@@ -1,0 +1,83 @@
+"""Cluster-head election for wireless scheduling via 2-ruling sets.
+
+The classic application the ruling-set literature motivates: in a radio
+network, a ``(2, 2)``-ruling set is a set of *cluster heads* that never
+interfere with each other (pairwise non-adjacent, so they can transmit
+simultaneously) while every station is within two hops of a head (so
+every station can be scheduled through a nearby coordinator).
+
+This example models a sensor field as a grid-with-shortcuts topology
+(a 2-D grid plus random long links — a standard proxy for unit-disk
+deployments without geometric machinery), elects heads with the
+deterministic MPC algorithm, and reports per-head cluster loads.
+
+Run with::
+
+    python examples/wireless_scheduling.py [rows] [cols]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro import GraphBuilder, generators, solve_ruling_set
+from repro.graph.properties import multi_source_distances
+from repro.util.rng import SplitMix64
+
+
+def sensor_field(rows: int, cols: int, shortcuts: int, seed: int = 3):
+    """Grid deployment plus a few long radio links."""
+    grid = generators.grid_graph(rows, cols)
+    builder = GraphBuilder(grid.num_vertices)
+    builder.add_edges(grid.edges())
+    rng = SplitMix64(seed=seed)
+    n = grid.num_vertices
+    for _ in range(shortcuts):
+        builder.add_edge(rng.next_below(n), rng.next_below(n))
+    return builder.build()
+
+
+def main(rows: int = 18, cols: int = 18) -> None:
+    field = sensor_field(rows, cols, shortcuts=rows * cols // 10)
+    print(f"sensor field: {field} ({rows}x{cols} grid + shortcuts)")
+
+    result = solve_ruling_set(
+        field, algorithm="det-ruling", beta=2, regime="sublinear"
+    )
+    heads = result.members
+    print(f"elected {len(heads)} interference-free cluster heads "
+          f"in {result.rounds} MPC rounds")
+
+    # Assign every station to its nearest head and report cluster loads.
+    dist = multi_source_distances(field, heads)
+    assignment = {}
+    for head in heads:
+        assignment[head] = head
+    frontier = list(heads)
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in field.neighbors(v):
+                if u not in assignment and dist[u] == dist[v] + 1:
+                    assignment[u] = assignment[v]
+                    nxt.append(u)
+        frontier = nxt
+    loads = Counter(assignment.values())
+
+    print(f"max hops to a head: {max(dist)}")
+    sizes = sorted(loads.values(), reverse=True)
+    print(f"cluster sizes: max={sizes[0]}, min={sizes[-1]}, "
+          f"mean={sum(sizes) / len(sizes):.1f}")
+    print("largest clusters:", sizes[:8])
+
+    # A schedule sanity check: heads must be pairwise non-adjacent, so a
+    # single time slot serves all head transmissions.
+    for head in heads:
+        assert not any(other in heads for other in field.neighbors(head))
+    print("verified: all heads can transmit in one shared slot")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

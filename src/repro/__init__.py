@@ -1,0 +1,62 @@
+"""mpc-ruling-sets: deterministic massively parallel ruling-set algorithms.
+
+A reproduction of *"Brief Announcement: Deterministic Massively Parallel
+Algorithms for Ruling Sets"* (Pai & Pemmaraju, PODC 2022): deterministic
+``(2, β)``-ruling set and MIS algorithms in the MPC model, their
+randomized baselines, the derandomization machinery (pairwise-independent
+families + exact method of conditional expectations), a budget-enforcing
+MPC simulator, a LOCAL-model simulator with classic baselines, and the
+workload generators and verification oracles needed to benchmark it all.
+
+Quickstart::
+
+    from repro import generators, solve_ruling_set
+
+    graph = generators.gnp_random_graph(300, 1, 10, seed=7)
+    result = solve_ruling_set(graph, algorithm="det-ruling", beta=2)
+    print(result.size, result.rounds, result.metrics["peak_memory_words"])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+experiment index.
+"""
+
+from repro.core import (
+    RulingSetResult,
+    check_ruling_set,
+    det_luby_mis,
+    det_ruling_set,
+    greedy_mis,
+    greedy_ruling_set,
+    rand_luby_mis,
+    rand_ruling_set,
+    solve_matching,
+    solve_ruling_set,
+    verify_maximal_matching,
+    verify_ruling_set,
+)
+from repro.graph import Graph, GraphBuilder, generators
+from repro.mpc import DistributedGraph, MPCConfig, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "generators",
+    "MPCConfig",
+    "Simulator",
+    "DistributedGraph",
+    "RulingSetResult",
+    "solve_ruling_set",
+    "verify_ruling_set",
+    "check_ruling_set",
+    "greedy_mis",
+    "greedy_ruling_set",
+    "det_luby_mis",
+    "det_ruling_set",
+    "rand_luby_mis",
+    "rand_ruling_set",
+    "solve_matching",
+    "verify_maximal_matching",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Benchmark harness support: run records, sweeps, and table formatting.
+
+Benchmarks in ``benchmarks/`` use this package to run algorithm × workload
+grids (:mod:`~repro.analysis.sweep`), collect
+:class:`~repro.analysis.records.RunRecord` rows, and print the tables and
+series that EXPERIMENTS.md reports (:mod:`~repro.analysis.tables`).
+"""
+
+from repro.analysis.records import RunRecord, record_from_result
+from repro.analysis.sweep import SweepSpec, run_sweep
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "RunRecord",
+    "record_from_result",
+    "SweepSpec",
+    "run_sweep",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,65 @@
+"""Flat run records for benchmark output.
+
+A :class:`RunRecord` is one row of an experiment table: workload
+parameters, algorithm, and every measured quantity, all plain
+ints/strings so records serialise to TSV/JSON without ceremony.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from repro.core.spec import RulingSetResult
+
+Value = Union[int, float, str]
+
+
+@dataclass
+class RunRecord:
+    """One experiment row: identifying fields plus measurements."""
+
+    experiment: str
+    workload: str
+    algorithm: str
+    fields: Dict[str, Value] = field(default_factory=dict)
+
+    def get(self, key: str, default: Value = 0) -> Value:
+        """Measurement accessor with default."""
+        return self.fields.get(key, default)
+
+    def to_json(self) -> str:
+        """Serialise to one JSON line."""
+        payload = {
+            "experiment": self.experiment,
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+        }
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True)
+
+
+def record_from_result(
+    experiment: str,
+    workload: str,
+    result: RulingSetResult,
+    extra: Dict[str, Value] = None,
+) -> RunRecord:
+    """Build a record from a :class:`RulingSetResult`."""
+    fields: Dict[str, Value] = {
+        "size": result.size,
+        "beta_claimed": result.beta,
+        "rounds": result.rounds,
+    }
+    fields.update(result.metrics)
+    for phase, rounds in result.phase_rounds.items():
+        fields[f"phase_{phase}"] = rounds
+    if extra:
+        fields.update(extra)
+    return RunRecord(
+        experiment=experiment,
+        workload=workload,
+        algorithm=result.algorithm,
+        fields=fields,
+    )

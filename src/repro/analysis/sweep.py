@@ -1,0 +1,61 @@
+"""Parameter sweep driver.
+
+A :class:`SweepSpec` names the workload grid (graph factories keyed by
+label) and the algorithm/regime list; :func:`run_sweep` executes the full
+product, verifying every output, and returns the records.  All benchmark
+tables are produced by this one driver so the measurement methodology is
+identical across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.analysis.records import RunRecord, record_from_result
+from repro.core.pipeline import solve_ruling_set
+from repro.graph.graph import Graph
+
+GraphFactory = Callable[[], Graph]
+
+
+@dataclass
+class SweepSpec:
+    """A grid of workloads × (algorithm, beta, regime) cells."""
+
+    experiment: str
+    workloads: Dict[str, GraphFactory]
+    algorithms: List[str]
+    beta: int = 2
+    regime: str = "sublinear"
+    seed: int = 0
+    extra_fields: Callable[[str, Graph], Dict] = None
+
+
+def run_sweep(spec: SweepSpec) -> List[RunRecord]:
+    """Execute the sweep; every run is verified before being recorded."""
+    records: List[RunRecord] = []
+    for workload_name in sorted(spec.workloads):
+        graph = spec.workloads[workload_name]()
+        base_extra = {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "max_degree": graph.max_degree(),
+        }
+        if spec.extra_fields is not None:
+            base_extra.update(spec.extra_fields(workload_name, graph))
+        for algorithm in spec.algorithms:
+            result = solve_ruling_set(
+                graph,
+                algorithm=algorithm,
+                beta=spec.beta,
+                regime=spec.regime,
+                seed=spec.seed,
+                verify=True,
+            )
+            records.append(
+                record_from_result(
+                    spec.experiment, workload_name, result, dict(base_extra)
+                )
+            )
+    return records

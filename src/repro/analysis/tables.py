@@ -1,0 +1,71 @@
+"""Plain-text table and series formatting for benchmark output.
+
+Benchmarks print their tables through these helpers so every experiment's
+output has one look: a header row, aligned columns, and a trailing note
+naming the experiment.  (No plotting dependencies — the "figures" are
+printed as aligned series, which is what a terminal benchmark run can
+honestly deliver.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.records import RunRecord
+
+
+def format_table(
+    records: Sequence[RunRecord],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render records as an aligned text table.
+
+    ``columns`` may name record fields or the identifying attributes
+    (``workload`` / ``algorithm``).
+    """
+    header = list(columns)
+    rows: List[List[str]] = []
+    for record in records:
+        row = []
+        for column in header:
+            if column == "workload":
+                row.append(record.workload)
+            elif column == "algorithm":
+                row.append(record.algorithm)
+            elif column == "experiment":
+                row.append(record.experiment)
+            else:
+                row.append(str(record.get(column, "")))
+        rows.append(row)
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Dict[str, List], x_label: str, y_label: str, title: str = ""
+) -> str:
+    """Render named (x, y) series as aligned text (the "figure" format).
+
+    ``points`` maps a series name to a list of ``(x, y)`` pairs.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"series: {x_label} -> {y_label}")
+    for name in sorted(points):
+        pairs = "  ".join(f"({x}, {y})" for x, y in points[name])
+        lines.append(f"  {name}: {pairs}")
+    return "\n".join(lines)

@@ -1,0 +1,264 @@
+"""Command-line interface: generate graphs, solve, verify, sweep.
+
+Installed as ``repro-mpc``::
+
+    repro-mpc generate --family gnp --n 300 --param 12 --out g.txt
+    repro-mpc solve --input g.txt --algorithm det-ruling --beta 2
+    repro-mpc solve --family powerlaw --n 400 --algorithm det-luby --json
+    repro-mpc verify --input g.txt --members 3,19,40 --beta 2
+    repro-mpc sweep --n 128,256 --algorithms det-ruling,det-luby
+
+Every ``solve`` runs on the enforcing simulator and verifies its output;
+``--json`` emits a machine-readable record instead of the text summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.sweep import SweepSpec, run_sweep
+from repro.analysis.tables import format_table
+from repro.core.pipeline import solve_ruling_set
+from repro.core.verify import verify_ruling_set
+from repro.errors import ReproError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+FAMILIES = (
+    "gnp", "powerlaw", "tree", "grid", "regular", "star", "cycle",
+    "rmat", "barbell",
+)
+
+
+def build_graph(family: str, n: int, param: int, seed: int) -> Graph:
+    """Construct a workload graph from CLI parameters.
+
+    ``param`` means: expected degree (gnp), degree (regular), columns
+    (grid); it is ignored by the other families.
+    """
+    if family == "gnp":
+        return gen.gnp_random_graph(n, max(1, param), n, seed=seed)
+    if family == "powerlaw":
+        return gen.chung_lu_power_law(n, seed=seed)
+    if family == "tree":
+        return gen.random_tree(n, seed=seed)
+    if family == "grid":
+        cols = max(1, param)
+        rows = max(1, n // cols)
+        return gen.grid_graph(rows, cols)
+    if family == "regular":
+        return gen.regular_graph(n, max(0, param))
+    if family == "star":
+        return gen.star_graph(n)
+    if family == "cycle":
+        return gen.cycle_graph(n)
+    if family == "rmat":
+        scale = max(1, n.bit_length() - 1)
+        return gen.rmat_graph(scale, edge_factor=max(1, param), seed=seed)
+    if family == "barbell":
+        return gen.barbell_graph(max(2, n // 2), max(0, param))
+    raise ReproError(f"unknown family {family!r}")
+
+
+def _load_or_build(args) -> Graph:
+    if args.input:
+        return read_edge_list(args.input)
+    return build_graph(args.family, args.n, args.param, args.seed)
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", help="edge-list file (header 'n m')")
+    parser.add_argument(
+        "--family", choices=FAMILIES, default="gnp",
+        help="generator family when no --input is given",
+    )
+    parser.add_argument("--n", type=int, default=200)
+    parser.add_argument(
+        "--param", type=int, default=12,
+        help="family parameter (expected degree / degree / columns)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_generate(args) -> int:
+    graph = build_graph(args.family, args.n, args.param, args.seed)
+    write_edge_list(graph, args.out)
+    print(
+        f"wrote {graph.num_vertices} vertices, {graph.num_edges} edges "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def cmd_solve(args) -> int:
+    graph = _load_or_build(args)
+    result = solve_ruling_set(
+        graph,
+        algorithm=args.algorithm,
+        beta=args.beta,
+        alpha=args.alpha,
+        regime=args.regime,
+        seed=args.seed,
+    )
+    if args.json:
+        payload = result.summary_row()
+        payload["members"] = result.members
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"graph:      n={graph.num_vertices} m={graph.num_edges}")
+    print(f"algorithm:  {result.algorithm}")
+    print(f"guarantee:  ({result.alpha}, {result.beta})-ruling set")
+    print(f"size:       {result.size}")
+    print(f"rounds:     {result.rounds}")
+    for key in sorted(result.metrics):
+        print(f"  {key} = {result.metrics[key]}")
+    return 0
+
+
+def cmd_match(args) -> int:
+    from repro.core.det_matching import solve_matching
+
+    graph = _load_or_build(args)
+    matching, metrics = solve_matching(
+        graph, deterministic=not args.randomized, seed=args.seed
+    )
+    if args.json:
+        payload = dict(metrics)
+        payload["matching"] = [list(edge) for edge in matching]
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"graph:         n={graph.num_vertices} m={graph.num_edges}")
+    print(f"matching size: {len(matching)}")
+    print(f"MPC rounds:    {metrics.get('rounds', 0)}")
+    for key in sorted(metrics):
+        print(f"  {key} = {metrics[key]}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    graph = read_edge_list(args.input)
+    members = [int(x) for x in args.members.split(",") if x]
+    try:
+        check = verify_ruling_set(
+            graph, members, alpha=args.alpha, beta=args.beta
+        )
+    except ReproError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"VALID ({args.alpha}, {args.beta})-ruling set: size={check.size} "
+        f"measured_beta={check.measured_beta}"
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    sizes = [int(x) for x in args.n.split(",") if x]
+    algorithms = [a for a in args.algorithms.split(",") if a]
+    workloads = {
+        f"{args.family}-{n}": (
+            lambda n=n: build_graph(args.family, n, args.param, args.seed)
+        )
+        for n in sizes
+    }
+    records = run_sweep(
+        SweepSpec(
+            experiment="cli-sweep",
+            workloads=workloads,
+            algorithms=algorithms,
+            beta=args.beta,
+            regime=args.regime,
+            seed=args.seed,
+        )
+    )
+    print(
+        format_table(
+            records,
+            columns=[
+                "workload", "algorithm", "n", "m", "rounds", "size",
+            ],
+            title="cli sweep",
+        )
+    )
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpc",
+        description="Deterministic MPC ruling sets: solve, verify, sweep.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate", help="write a workload graph")
+    _add_graph_source(p_generate)
+    p_generate.add_argument("--out", required=True)
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_solve = sub.add_parser("solve", help="compute a verified ruling set")
+    _add_graph_source(p_solve)
+    p_solve.add_argument(
+        "--algorithm", default="det-ruling",
+        help="det-ruling | rand-ruling | det-luby | rand-luby | "
+        "greedy-mis | greedy-ruling | local-luby | local-bitwise",
+    )
+    p_solve.add_argument("--beta", type=int, default=2)
+    p_solve.add_argument("--alpha", type=int, default=2)
+    p_solve.add_argument(
+        "--regime", default="sublinear",
+        choices=("sublinear", "near-linear", "single"),
+    )
+    p_solve.add_argument("--json", action="store_true")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_match = sub.add_parser(
+        "match", help="compute a verified maximal matching"
+    )
+    _add_graph_source(p_match)
+    p_match.add_argument("--randomized", action="store_true")
+    p_match.add_argument("--json", action="store_true")
+    p_match.set_defaults(func=cmd_match)
+
+    p_verify = sub.add_parser("verify", help="check a claimed ruling set")
+    p_verify.add_argument("--input", required=True)
+    p_verify.add_argument(
+        "--members", required=True, help="comma-separated vertex ids"
+    )
+    p_verify.add_argument("--alpha", type=int, default=2)
+    p_verify.add_argument("--beta", type=int, default=2)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_sweep = sub.add_parser("sweep", help="run an algorithm x size grid")
+    p_sweep.add_argument("--family", choices=FAMILIES, default="gnp")
+    p_sweep.add_argument("--n", default="128,256")
+    p_sweep.add_argument("--param", type=int, default=12)
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--beta", type=int, default=2)
+    p_sweep.add_argument(
+        "--regime", default="sublinear",
+        choices=("sublinear", "near-linear", "single"),
+    )
+    p_sweep.add_argument(
+        "--algorithms", default="det-ruling,det-luby",
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

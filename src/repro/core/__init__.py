@@ -1,0 +1,49 @@
+"""The paper's contribution: deterministic MPC ruling-set algorithms.
+
+Public surface:
+
+* :func:`repro.core.pipeline.solve_ruling_set` — one-call driver: builds
+  the simulator for a chosen regime, runs the requested algorithm,
+  verifies the output, and returns a :class:`~repro.core.spec.RulingSetResult`
+  with full MPC metrics.
+* :mod:`~repro.core.det_ruling` — deterministic ``(2, β)``-ruling sets via
+  derandomized sparsify-and-gather (the headline algorithm).
+* :mod:`~repro.core.det_luby` — deterministic MIS via the derandomized
+  Luby step (method of conditional expectations each phase).
+* :mod:`~repro.core.rand_baselines` — the randomized counterparts, sharing
+  the same code paths so the measured difference is exactly the seed
+  search.
+* :mod:`~repro.core.greedy` / :mod:`~repro.core.verify` — sequential
+  oracle and ground-truth verification.
+"""
+
+from repro.core.spec import RulingSetResult
+from repro.core.verify import verify_ruling_set, check_ruling_set
+from repro.core.greedy import greedy_mis, greedy_ruling_set
+from repro.core.det_luby import det_luby_mis
+from repro.core.det_ruling import det_ruling_set
+from repro.core.rand_baselines import rand_luby_mis, rand_ruling_set
+from repro.core.alpha_ruling import det_alpha_ruling_set
+from repro.core.det_matching import (
+    det_maximal_matching,
+    solve_matching,
+    verify_maximal_matching,
+)
+from repro.core.pipeline import solve_ruling_set
+
+__all__ = [
+    "RulingSetResult",
+    "verify_ruling_set",
+    "check_ruling_set",
+    "greedy_mis",
+    "greedy_ruling_set",
+    "det_luby_mis",
+    "det_ruling_set",
+    "rand_luby_mis",
+    "rand_ruling_set",
+    "det_alpha_ruling_set",
+    "det_maximal_matching",
+    "solve_matching",
+    "verify_maximal_matching",
+    "solve_ruling_set",
+]

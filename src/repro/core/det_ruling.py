@@ -1,0 +1,431 @@
+"""Deterministic ``(2, β)``-ruling sets via derandomized sparsify-and-gather.
+
+This is the reconstruction of the paper's headline algorithm.  Each
+iteration of the main loop:
+
+1. **Sparsify** (β − 1 levels).  Level ``j`` samples
+   ``X_j = {v ∈ X_{j-1} : h_j(v) < T_j}`` with rate
+   ``q_j = min(1/2, 4/√Δ_j)`` using a hash seed chosen by a *batched
+   distributed seed scan* against two targets:
+
+   * size: ``|X_j| · p ≤ 3 · |X_{j-1}| · T_j``  (Markov, fails w.p. < 1/3)
+   * coverage: at most half the vertices of degree ≥ ``8/q_j`` lack a
+     sampled neighbour (pairwise independence + Chebyshev gives
+     ``Pr[no sampled neighbour] ≤ 1/(deg·q) ≤ 1/8`` per such vertex, so
+     the target fails w.p. ≤ 1/4).
+
+   At least a ``5/12`` fraction of the family meets both targets, so the
+   deterministic scan commits after O(1) batches.  Because membership in
+   ``X_j`` is a pure function of the *id*, each machine builds the induced
+   level-``j`` adjacency with **zero communication**.
+
+2. **Solve** the deepest level: gather its subgraph to machine 0 and run
+   greedy MIS there if it fits half a machine's memory, otherwise fall
+   back to the distributed derandomized Luby MIS on that level.
+
+3. **Remove** everything within β hops of the new members (a β-round
+   flag wave on the original adjacency), so every removed vertex is
+   certifiably within β of the output and later members stay independent
+   of earlier ones (distance-1 neighbours are always removed).
+
+The loop ends by gathering the whole residual graph once it fits, or by
+running Luby when its degree is tiny.  Correctness — 2-independence and
+β-domination — holds *unconditionally by construction*; the sampling
+targets only govern progress speed.  The randomized baseline runs the
+same engine with a draw-don't-scan seed chooser, so benchmark deltas
+isolate exactly the derandomization cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.det_luby import det_luby_mis, modulus_for
+from repro.core.greedy import greedy_mis_on_edges
+from repro.derand.family import Seed, threshold_for_rate
+from repro.derand.seed_search import distributed_scan_seeds
+from repro.errors import AlgorithmError
+from repro.mpc.graph_store import ADJ, DistributedGraph
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+from repro.mpc.primitives.aggregate import reduce_scalar
+
+IN_SET = "rs_in_set"
+ITER_MEMBERS = "rs_iter_members"
+
+# A sampling chooser returns (seed, candidates_scanned) for one level.
+SamplingChooser = Callable[
+    ["DistributedGraph", int, str, int, int, int, int], Tuple[Seed, int]
+]
+
+
+def scanning_chooser(batch: int = 32, max_batches: int = 512) -> SamplingChooser:
+    """Deterministic chooser: batched scan against size+coverage targets."""
+
+    def choose(
+        dg: DistributedGraph,
+        p: int,
+        adj_key: str,
+        threshold: int,
+        high_degree: int,
+        n_level: int,
+        n_high: int,
+    ) -> Tuple[Seed, int]:
+        def local_stats(machine: Machine, seed: Seed) -> Tuple[int, int]:
+            adj = machine.store[adj_key]
+            sampled = 0
+            uncovered_high = 0
+            for v, neighbors in adj.items():
+                if seed.hash(v) < threshold:
+                    sampled += 1
+                if len(neighbors) >= high_degree and not any(
+                    seed.hash(u) < threshold for u in neighbors
+                ):
+                    uncovered_high += 1
+            return (sampled, uncovered_high)
+
+        def accept(stats: Tuple[int, ...]) -> bool:
+            sampled, uncovered_high = stats
+            # Size: E[|X|] = n*T/p and Var <= E under pairwise
+            # independence, so Chebyshev bounds Pr[|X| > 1.5E + 4] by
+            # E/(E/2 + 4)^2 — a 1.5x multiplicative target (plus absolute
+            # slack 4) keeps a constant family fraction acceptable while
+            # excluding degenerate near-full samples, which a 3x Markov
+            # target would admit at rate 1/2.
+            size_ok = 2 * sampled * p <= 3 * n_level * threshold + 8 * p
+            coverage_ok = 2 * uncovered_high <= n_high
+            return size_ok and coverage_ok
+
+        seed, _, scan = distributed_scan_seeds(
+            dg.sim,
+            p,
+            local_stats,
+            stat_width=2,
+            accept=accept,
+            batch=batch,
+            max_batches=max_batches,
+        )
+        return seed, scan.candidates_scanned
+
+    return choose
+
+
+def _sampling_rate(max_degree: int) -> Tuple[int, int]:
+    """Rate ``q = min(1/2, 4/isqrt(Δ))`` as an exact fraction."""
+    root = math.isqrt(max(1, max_degree))
+    if root <= 8:
+        return (1, 2)
+    return (4, root)
+
+
+def _adjacency_words(dg: DistributedGraph, adj_key: str) -> Tuple[int, int, int]:
+    """Return ``(n_active, m_active, words)`` for one adjacency layer."""
+    sim = dg.sim
+
+    def extract(machine: Machine) -> Tuple[int, ...]:
+        adj = machine.store[adj_key]
+        return (
+            len(adj),
+            sum(len(nbrs) for nbrs in adj.values()),
+        )
+
+    from repro.mpc.primitives.aggregate import reduce_vector
+
+    n_active, directed = reduce_vector(
+        sim, extract, lambda a, b: (a[0] + b[0], a[1] + b[1]), width=2
+    )
+    return n_active, directed // 2, directed + n_active
+
+
+def _gather_and_greedy(
+    dg: DistributedGraph, adj_key: str, members_key: str
+) -> int:
+    """Gather the ``adj_key`` subgraph to machine 0, solve, scatter members.
+
+    Flags every active vertex of the layer, ships the subgraph, runs
+    greedy MIS at machine 0, and sends each member id to its owner, which
+    records it under ``members_key``.  Returns the member count.  Costs 4
+    rounds.
+    """
+    sim = dg.sim
+
+    def flag_all(machine: Machine) -> None:
+        machine.store["_rs_gather_flag"] = sorted(machine.store[adj_key])
+
+    sim.local(flag_all)
+    dg.gather_flagged_to_zero(
+        "_rs_gather_flag", "_rs_gv", "_rs_ge", adj_key=adj_key
+    )
+
+    def solve_and_scatter(machine: Machine) -> List[Message]:
+        machine.store.pop("_rs_gather_flag")
+        if machine.mid != 0:
+            return []
+        vertices = machine.store.pop("_rs_gv")
+        edges = machine.store.pop("_rs_ge")
+        members = greedy_mis_on_edges(vertices, edges)
+        return [Message(dg.owner_of(v), (v,)) for v in members]
+
+    sim.communicate(solve_and_scatter)
+
+    def record(machine: Machine) -> None:
+        for payload in machine.inbox:
+            machine.store[members_key].add(payload[0])
+        machine.clear_inbox()
+
+    sim.local(record)
+    return reduce_scalar(
+        sim, lambda m: len(m.store[members_key]), lambda a, b: a + b
+    )
+
+
+def _removal_wave(
+    dg: DistributedGraph, members_key: str, beta: int
+) -> int:
+    """Deactivate every active vertex within β hops of the new members.
+
+    β rounds of flag pushes on the base adjacency plus one deactivation
+    round.  Returns the number of vertices removed.
+    """
+    sim = dg.sim
+
+    def seed_wave(machine: Machine) -> None:
+        members = set(machine.store[members_key])
+        active = set(machine.store[ADJ])
+        machine.store["_rs_frontier"] = sorted(members & active)
+        machine.store["_rs_removed"] = members & active
+
+    sim.local(seed_wave)
+    for _ in range(beta):
+        dg.push_flags("_rs_frontier", "_rs_hit", adj_key=ADJ)
+
+        def advance(machine: Machine) -> None:
+            removed = machine.store["_rs_removed"]
+            hit = machine.store.pop("_rs_hit")
+            newly = {
+                v
+                for v in hit
+                if v not in removed and v in machine.store[ADJ]
+            }
+            removed.update(newly)
+            machine.store["_rs_frontier"] = sorted(newly)
+
+        sim.local(advance)
+
+    def finalize(machine: Machine) -> None:
+        machine.store.pop("_rs_frontier")
+        machine.store["_rs_removed"] = set(machine.store["_rs_removed"])
+        machine.store["_rs_removed_count"] = len(machine.store["_rs_removed"])
+
+    sim.local(finalize)
+    removed_total = sum(
+        m.store.pop("_rs_removed_count") for m in sim.machines
+    )
+    dg.deactivate("_rs_removed", adj_key=ADJ)
+    return removed_total
+
+
+def det_ruling_set(
+    dg: DistributedGraph,
+    beta: int = 2,
+    in_set_key: str = IN_SET,
+    chooser: Optional[SamplingChooser] = None,
+    luby_chooser=None,
+    luby_allow_stalls: int = 0,
+    endgame_degree: int = 4,
+    max_iterations: Optional[int] = None,
+) -> Dict[str, int]:
+    """Compute a ``(2, β)``-ruling set of the active graph; β >= 2.
+
+    Members accumulate per machine under ``store[in_set_key]``; collect
+    with ``dg.collect_marked(in_set_key)``.  Returns a counter dict
+    (iterations, sparsify levels, seed candidates, solver choices).
+
+    ``chooser`` selects sampling seeds (default: the deterministic
+    batched scan); ``luby_chooser`` is forwarded to the Luby engine when
+    it is used as the level solver or endgame (default: deterministic
+    conditional expectations).
+    """
+    if beta < 2:
+        raise AlgorithmError(
+            "det_ruling_set needs beta >= 2; use det_luby_mis for an MIS"
+        )
+    sim = dg.sim
+    p = modulus_for(dg.num_vertices)
+    choose = chooser if chooser is not None else scanning_chooser()
+    budget = sim.config.memory_words // 2
+    limit = (
+        max_iterations
+        if max_iterations is not None
+        else dg.num_vertices + 2
+    )
+    counters = {
+        "iterations": 0,
+        "levels_built": 0,
+        "seed_candidates": 0,
+        "gather_finishes": 0,
+        "level_gathers": 0,
+        "level_luby_solves": 0,
+        "endgame_luby": 0,
+        "members": 0,
+    }
+
+    def ensure_sets(machine: Machine) -> None:
+        if in_set_key not in machine.store:
+            machine.store[in_set_key] = set()
+        machine.store[ITER_MEMBERS] = set()
+
+    sim.local(ensure_sets)
+
+    for _ in range(limit):
+        n_act, m_act, words = _adjacency_words(dg, ADJ)
+        if n_act == 0:
+            return counters
+        counters["iterations"] += 1
+        sim.begin_phase("ruling-iteration")
+
+        # ---- endgame: whole residual fits one machine ------------------
+        if words <= budget:
+            sim.begin_phase("ruling-gather-finish")
+            members = _gather_and_greedy(dg, ADJ, ITER_MEMBERS)
+            counters["gather_finishes"] += 1
+            counters["members"] += members
+            _merge_members(sim, in_set_key)
+            _deactivate_all(dg, ADJ)
+            return counters
+
+        # ---- endgame: residual degree tiny -----------------------------
+        max_deg = dg.max_active_degree(ADJ)
+        if max_deg <= endgame_degree:
+            sim.begin_phase("ruling-endgame-luby")
+            sub = det_luby_mis(
+                dg, adj_key=ADJ, in_set_key=ITER_MEMBERS,
+                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
+            )
+            counters["endgame_luby"] += 1
+            counters["seed_candidates"] += sub["seed_candidates"]
+            counters["members"] += _merge_members(sim, in_set_key)
+            return counters
+
+        # ---- sparsification chain --------------------------------------
+        sim.begin_phase("ruling-sparsify")
+        prev_key = ADJ
+        level_keys: List[str] = []
+        level_degree = max_deg
+        for level in range(1, beta):
+            rate_num, rate_den = _sampling_rate(level_degree)
+            threshold = threshold_for_rate(p, rate_num, rate_den)
+            high_degree = -(-8 * rate_den // rate_num)  # ceil(8 / q)
+            n_level = dg.count_active(prev_key)
+            n_high = reduce_scalar(
+                sim,
+                lambda m, hk=prev_key, hd=high_degree: sum(
+                    1
+                    for nbrs in m.store[hk].values()
+                    if len(nbrs) >= hd
+                ),
+                lambda a, b: a + b,
+            )
+            seed, scanned = choose(
+                dg, p, prev_key, threshold, high_degree, n_level, n_high
+            )
+            counters["seed_candidates"] += scanned
+            counters["levels_built"] += 1
+            new_key = f"rs_level{level}_adj"
+            level_keys.append(new_key)
+
+            def build_level(
+                machine: Machine, src=prev_key, dst=new_key,
+                s=seed, t=threshold,
+            ) -> None:
+                adj = machine.store[src]
+                machine.store[dst] = {
+                    v: tuple(u for u in nbrs if s.hash(u) < t)
+                    for v, nbrs in adj.items()
+                    if s.hash(v) < t
+                }
+
+            sim.local(build_level)
+            prev_key = new_key
+            n_lvl, m_lvl, lvl_words = _adjacency_words(dg, prev_key)
+            if n_lvl == 0 or lvl_words <= budget:
+                break
+            level_degree = dg.max_active_degree(prev_key)
+            if level_degree <= endgame_degree:
+                break
+
+        # ---- solve the deepest level ------------------------------------
+        sim.begin_phase("ruling-solve-level")
+        n_deep, m_deep, deep_words = _adjacency_words(dg, prev_key)
+        if n_deep == 0:
+            # Sampling emptied out (legal but rare): make guaranteed
+            # progress with one full Luby MIS on the residual graph.
+            sub = det_luby_mis(
+                dg, adj_key=ADJ, in_set_key=ITER_MEMBERS,
+                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
+            )
+            counters["endgame_luby"] += 1
+            counters["seed_candidates"] += sub["seed_candidates"]
+            counters["members"] += _merge_members(sim, in_set_key)
+            _cleanup_levels(sim, level_keys)
+            return counters
+        if deep_words <= budget:
+            members = _gather_and_greedy(dg, prev_key, ITER_MEMBERS)
+            counters["level_gathers"] += 1
+        else:
+            sub = det_luby_mis(
+                dg, adj_key=prev_key, in_set_key=ITER_MEMBERS,
+                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
+            )
+            counters["level_luby_solves"] += 1
+            counters["seed_candidates"] += sub["seed_candidates"]
+            members = reduce_scalar(
+                sim, lambda m: len(m.store[ITER_MEMBERS]), lambda a, b: a + b
+            )
+        if members == 0:
+            raise AlgorithmError(
+                "level solver produced no members from a non-empty level"
+            )
+        counters["members"] += members
+
+        # ---- removal wave ------------------------------------------------
+        sim.begin_phase("ruling-removal-wave")
+        _removal_wave(dg, ITER_MEMBERS, beta)
+        _merge_members(sim, in_set_key)
+        _cleanup_levels(sim, level_keys)
+
+    raise AlgorithmError(f"ruling set did not finish in {limit} iterations")
+
+
+def _merge_members(sim, in_set_key: str) -> int:
+    """Fold this iteration's members into the global set; return count."""
+
+    def merge(machine: Machine) -> None:
+        new_members = machine.store[ITER_MEMBERS]
+        machine.store["_rs_merged"] = len(new_members)
+        machine.store[in_set_key].update(new_members)
+        machine.store[ITER_MEMBERS] = set()
+
+    sim.local(merge)
+    return sum(m.store.pop("_rs_merged") for m in sim.machines)
+
+
+def _cleanup_levels(sim, level_keys: List[str]) -> None:
+    """Drop per-iteration level adjacency layers."""
+
+    def cleanup(machine: Machine) -> None:
+        for key in level_keys:
+            machine.store.pop(key, None)
+
+    sim.local(cleanup)
+
+
+def _deactivate_all(dg: DistributedGraph, adj_key: str) -> None:
+    """Remove every remaining active vertex (after a gather-finish)."""
+
+    def mark_all(machine: Machine) -> None:
+        machine.store["_rs_all"] = set(machine.store[adj_key])
+
+    dg.sim.local(mark_all)
+    dg.deactivate("_rs_all", adj_key=adj_key)

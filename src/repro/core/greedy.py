@@ -1,0 +1,104 @@
+"""Sequential greedy oracles.
+
+``greedy_mis`` is the canonical sequential MIS — the reference every
+distributed MIS is compared against, and also the *local solver* that the
+MPC sparsify-and-gather algorithm runs on machine 0 once a subgraph has
+been gathered.  ``greedy_ruling_set`` generalises it to ``(alpha, beta)``
+with ``beta = alpha - 1`` (the greedy guarantee).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+
+
+def greedy_mis(
+    graph: Graph, order: Optional[Sequence[int]] = None
+) -> List[int]:
+    """Greedy maximal independent set in the given vertex order.
+
+    >>> greedy_mis(Graph.from_edges(3, [(0, 1), (1, 2)]))
+    [0, 2]
+    """
+    scan = list(order) if order is not None else list(graph.vertices())
+    if sorted(scan) != list(graph.vertices()):
+        raise AlgorithmError("order must be a permutation of the vertices")
+    blocked = [False] * graph.num_vertices
+    members = []
+    for v in scan:
+        if blocked[v]:
+            continue
+        members.append(v)
+        blocked[v] = True
+        for u in graph.neighbors(v):
+            blocked[u] = True
+    return sorted(members)
+
+
+def greedy_mis_on_edges(
+    vertices: Sequence[int], edges: Sequence[Tuple[int, int]]
+) -> List[int]:
+    """Greedy MIS over an edge list with arbitrary (sparse) vertex ids.
+
+    This is the solver machine 0 runs on a gathered subgraph, where ids
+    are original graph ids rather than dense ones.
+
+    >>> greedy_mis_on_edges([5, 7, 9], [(5, 7), (7, 9)])
+    [5, 9]
+    """
+    adjacency: Dict[int, List[int]] = {v: [] for v in vertices}
+    for u, v in edges:
+        if u not in adjacency or v not in adjacency:
+            raise AlgorithmError(f"edge ({u}, {v}) references unknown vertex")
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    blocked: Dict[int, bool] = {v: False for v in adjacency}
+    members = []
+    for v in sorted(adjacency):
+        if blocked[v]:
+            continue
+        members.append(v)
+        for u in adjacency[v]:
+            blocked[u] = True
+    return members
+
+
+def greedy_ruling_set(graph: Graph, alpha: int = 2) -> List[int]:
+    """Greedy ``(alpha, alpha - 1)``-ruling set by increasing vertex id.
+
+    Scans vertices in id order, adding each vertex at distance >= alpha
+    from the current set; a skipped vertex is within alpha - 1 of the set
+    (the member that blocked it), hence β = alpha - 1.
+
+    >>> greedy_ruling_set(Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)]), 3)
+    [0, 3]
+    """
+    if alpha < 1:
+        raise AlgorithmError(f"alpha must be >= 1, got {alpha}")
+    n = graph.num_vertices
+    dist_to_set = [None] * n  # distances < alpha tracked, else None
+    members = []
+    for v in range(n):
+        if dist_to_set[v] is not None:
+            continue
+        members.append(v)
+        # BFS to depth alpha - 1, claiming vertices closer than alpha.
+        frontier = deque([(v, 0)])
+        seen = {v}
+        dist_to_set[v] = 0
+        while frontier:
+            u, d = frontier.popleft()
+            if d == alpha - 1:
+                continue
+            for w in graph.neighbors(u):
+                if w in seen:
+                    continue
+                seen.add(w)
+                if dist_to_set[w] is None or dist_to_set[w] > d + 1:
+                    dist_to_set[w] = d + 1
+                frontier.append((w, d + 1))
+    return members

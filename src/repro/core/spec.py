@@ -1,0 +1,63 @@
+"""Problem and result types for ruling-set computations.
+
+An ``(α, β)``-ruling set of ``G``:
+
+* **α-independence** — distinct members are at graph distance ≥ α
+  (α = 2 is plain independence; all algorithms here produce α = 2);
+* **β-domination** — every vertex is within distance β of a member.
+
+An MIS is a (2, 1)-ruling set; "β-ruling set" abbreviates (2, β).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class RulingSetResult:
+    """The outcome of one ruling-set computation.
+
+    Attributes
+    ----------
+    members:
+        Sorted member vertex ids.
+    alpha / beta:
+        The guarantee the algorithm *claims* (verification measures the
+        actual values; ``measured_beta <= beta`` must hold).
+    algorithm:
+        Human-readable algorithm label.
+    rounds:
+        MPC rounds consumed (0 for sequential oracles).
+    metrics:
+        Flat metric dict from :class:`repro.mpc.RunMetrics.summary`, plus
+        algorithm-specific counters (phases, seeds scanned, ...).
+    phase_rounds:
+        Rounds attributed to each named phase.
+    """
+
+    members: List[int]
+    alpha: int
+    beta: int
+    algorithm: str
+    rounds: int = 0
+    metrics: Dict[str, int] = field(default_factory=dict)
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat row for benchmark tables."""
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "size": self.size,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "rounds": self.rounds,
+        }
+        row.update(self.metrics)
+        return row

@@ -1,0 +1,115 @@
+"""Ground-truth verification of claimed ruling sets.
+
+Verification is sequential and exact (BFS-based), entirely independent of
+the distributed code paths it checks: α-independence via depth-limited
+BFS from each member, β-domination via one multi-source BFS.  Every
+algorithm's output in tests and benchmarks goes through
+:func:`verify_ruling_set` — a distributed algorithm is only "done" when
+the oracle agrees.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import VerificationError
+from repro.graph.graph import Graph
+from repro.graph.properties import UNREACHED, multi_source_distances
+
+
+@dataclass(frozen=True)
+class RulingSetCheck:
+    """Measured properties of a claimed ruling set."""
+
+    independent_at: int  # largest α' <= alpha_limit certified (see below)
+    measured_beta: int
+    size: int
+
+
+def _min_pairwise_distance_at_least(
+    graph: Graph, members: List[int], alpha: int
+) -> bool:
+    """True iff all distinct members are at distance >= alpha.
+
+    Depth-limited BFS from each member; stops early on a violation.
+    """
+    member_set = set(members)
+    limit = alpha - 1
+    for src in members:
+        dist = {src: 0}
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            if dist[u] == limit:
+                continue
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    if v in member_set:
+                        return False
+                    queue.append(v)
+    return True
+
+
+def check_ruling_set(
+    graph: Graph, members: Iterable[int], alpha: int = 2
+) -> RulingSetCheck:
+    """Measure a candidate set; raise only on malformed input.
+
+    Returns the measured domination radius and whether α-independence
+    holds (``independent_at`` is ``alpha`` when certified, else 1).
+    """
+    member_list = sorted(set(members))
+    for v in member_list:
+        if not 0 <= v < graph.num_vertices:
+            raise VerificationError(f"member {v} out of range")
+    if graph.num_vertices == 0:
+        return RulingSetCheck(independent_at=alpha, measured_beta=0, size=0)
+    if not member_list:
+        raise VerificationError("empty set cannot rule a non-empty graph")
+    independent = _min_pairwise_distance_at_least(graph, member_list, alpha)
+    dist = multi_source_distances(graph, member_list)
+    beta = 0
+    for v, d in enumerate(dist):
+        if d == UNREACHED:
+            raise VerificationError(
+                f"vertex {v} unreachable from the claimed ruling set"
+            )
+        beta = max(beta, d)
+    return RulingSetCheck(
+        independent_at=alpha if independent else 1,
+        measured_beta=beta,
+        size=len(member_list),
+    )
+
+
+def verify_ruling_set(
+    graph: Graph,
+    members: Iterable[int],
+    alpha: int = 2,
+    beta: int = 1,
+) -> RulingSetCheck:
+    """Assert that ``members`` is an ``(alpha, beta)``-ruling set.
+
+    Raises :class:`VerificationError` with a precise reason on failure;
+    returns the measured check on success (measured β may be smaller than
+    claimed).
+
+    >>> g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    >>> verify_ruling_set(g, [1], alpha=2, beta=1).measured_beta
+    1
+    """
+    check = check_ruling_set(graph, members, alpha=alpha)
+    if check.independent_at < alpha:
+        raise VerificationError(
+            f"set is not {alpha}-independent (two members within "
+            f"distance {alpha - 1})"
+        )
+    if check.measured_beta > beta:
+        raise VerificationError(
+            f"domination radius {check.measured_beta} exceeds claimed "
+            f"beta={beta}"
+        )
+    return check

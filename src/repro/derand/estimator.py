@@ -1,0 +1,219 @@
+"""Linear threshold estimators with exactly computable expectations.
+
+A :class:`ThresholdEstimator` is a weighted sum of indicator events over
+one hash function ``h`` drawn from the affine family mod ``p``:
+
+* **vertex terms** ``w * [h(x) < T]``;
+* **pair terms** ``w * [h(x1) < T1 and h(x2) < T2]`` with ``x1 != x2``.
+
+For the affine family all three expectation queries the method of
+conditional expectations needs are *exact integer computations*:
+
+``expectation_x_p2``
+    ``p^2 * E[Phi]`` over the whole family — vertex events contribute
+    ``w * T * p``, pair events ``w * T1 * T2`` (exact pairwise
+    independence).
+
+``cond_a_x_p``
+    ``p * E[Phi | a]`` with ``b`` uniform: the event ``h(x) < T`` is
+    ``b in I_x`` where ``I_x`` is the cyclic interval of length ``T``
+    starting at ``(-a x) mod p``, so a pair event's conditional
+    probability is ``|I_{x1} ∩ I_{x2}| / p`` — a cyclic-interval overlap.
+
+``cond_ab_range``
+    ``sum of w * |I ∩ [b_lo, b_hi)|`` — the numerator of
+    ``E[Phi | a, b in range]`` used when fixing the bits of ``b``
+    most-significant-first.
+
+The estimator is also evaluated pointwise (``value``) to certify that the
+seed finally committed meets its guaranteed bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.derand.family import Seed
+from repro.errors import DerandomizationError
+from repro.util.intervals import (
+    intersect_segments,
+    interval_to_segments,
+    segments_length,
+    segments_overlap_range,
+)
+
+
+@dataclass(frozen=True)
+class VertexTerm:
+    """``weight * [h(x) < threshold]``."""
+
+    x: int
+    threshold: int
+    weight: int
+
+
+@dataclass(frozen=True)
+class PairTerm:
+    """``weight * [h(x1) < t1 and h(x2) < t2]`` with ``x1 != x2``."""
+
+    x1: int
+    t1: int
+    x2: int
+    t2: int
+    weight: int
+
+
+class ThresholdEstimator:
+    """A weighted sum of threshold events, exactly analysable mod ``p``."""
+
+    def __init__(self, p: int):
+        if p < 2:
+            raise DerandomizationError(f"modulus must be >= 2, got {p}")
+        self.p = p
+        self.vertex_terms: List[VertexTerm] = []
+        self.pair_terms: List[PairTerm] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex_term(self, x: int, threshold: int, weight: int) -> None:
+        """Add ``weight * [h(x) < threshold]``."""
+        self._check_threshold(threshold)
+        self.vertex_terms.append(
+            VertexTerm(x=x, threshold=threshold, weight=weight)
+        )
+
+    def add_pair_term(
+        self, x1: int, t1: int, x2: int, t2: int, weight: int
+    ) -> None:
+        """Add ``weight * [h(x1) < t1 and h(x2) < t2]``; needs ``x1 != x2``.
+
+        Pairwise independence (hence exactness of ``expectation_x_p2``)
+        requires the two hashed points to be distinct field elements.
+        """
+        if x1 % self.p == x2 % self.p:
+            raise DerandomizationError(
+                f"pair term needs distinct points mod p, got {x1}, {x2}"
+            )
+        self._check_threshold(t1)
+        self._check_threshold(t2)
+        self.pair_terms.append(
+            PairTerm(x1=x1, t1=t1, x2=x2, t2=t2, weight=weight)
+        )
+
+    def _check_threshold(self, threshold: int) -> None:
+        if not 0 <= threshold <= self.p:
+            raise DerandomizationError(
+                f"threshold {threshold} out of [0, {self.p}]"
+            )
+
+    @property
+    def num_terms(self) -> int:
+        """Total term count."""
+        return len(self.vertex_terms) + len(self.pair_terms)
+
+    # ------------------------------------------------------------------
+    # Exact analysis
+    # ------------------------------------------------------------------
+    def value(self, seed: Seed) -> int:
+        """Pointwise value of the estimator at ``seed``.
+
+        >>> est = ThresholdEstimator(7)
+        >>> est.add_vertex_term(x=3, threshold=4, weight=5)
+        >>> est.value(Seed(1, 0, 7))   # h(3) = 3 < 4
+        5
+        """
+        total = 0
+        for term in self.vertex_terms:
+            if seed.hash(term.x) < term.threshold:
+                total += term.weight
+        for term in self.pair_terms:
+            if (
+                seed.hash(term.x1) < term.t1
+                and seed.hash(term.x2) < term.t2
+            ):
+                total += term.weight
+        return total
+
+    def expectation_x_p2(self) -> int:
+        """Return the integer ``p^2 * E[Phi]`` over the full family."""
+        p = self.p
+        total = 0
+        for term in self.vertex_terms:
+            total += term.weight * term.threshold * p
+        for term in self.pair_terms:
+            total += term.weight * term.t1 * term.t2
+        return total
+
+    def _interval(self, x: int, threshold: int, a: int):
+        """Segments of ``{b : (a x + b) mod p < threshold}``."""
+        start = (-a * x) % self.p
+        return interval_to_segments(start, threshold, self.p)
+
+    def cond_a_x_p(self, a: int) -> int:
+        """Return the integer ``p * E[Phi | a]`` (``b`` uniform on Z_p)."""
+        total = 0
+        for term in self.vertex_terms:
+            total += term.weight * term.threshold
+        for term in self.pair_terms:
+            overlap = segments_length(
+                intersect_segments(
+                    self._interval(term.x1, term.t1, a),
+                    self._interval(term.x2, term.t2, a),
+                )
+            )
+            total += term.weight * overlap
+        return total
+
+    def cond_ab_range(self, a: int, b_lo: int, b_hi: int) -> int:
+        """Return ``sum_terms w * |I_term ∩ [b_lo, b_hi)|``.
+
+        Dividing by ``b_hi - b_lo`` (the caller clips the range to
+        ``[0, p)`` first) gives ``E[Phi | a, b in range]`` exactly.
+        """
+        if not 0 <= b_lo <= b_hi <= self.p:
+            raise DerandomizationError(
+                f"range [{b_lo}, {b_hi}) must lie within [0, {self.p}]"
+            )
+        total = 0
+        for term in self.vertex_terms:
+            total += term.weight * segments_overlap_range(
+                self._interval(term.x, term.threshold, a), b_lo, b_hi
+            )
+        for term in self.pair_terms:
+            overlap = intersect_segments(
+                self._interval(term.x1, term.t1, a),
+                self._interval(term.x2, term.t2, a),
+            )
+            total += term.weight * segments_overlap_range(
+                overlap, b_lo, b_hi
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Serialization (for distributed term storage on machines)
+    # ------------------------------------------------------------------
+    def to_flat_terms(
+        self,
+    ) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int, int, int]]]:
+        """Return terms as plain integer tuples (machine-storable)."""
+        return (
+            [(t.x, t.threshold, t.weight) for t in self.vertex_terms],
+            [(t.x1, t.t1, t.x2, t.t2, t.weight) for t in self.pair_terms],
+        )
+
+    @classmethod
+    def from_flat_terms(
+        cls,
+        p: int,
+        vertex_terms: Iterable[Sequence[int]],
+        pair_terms: Iterable[Sequence[int]],
+    ) -> "ThresholdEstimator":
+        """Rebuild an estimator from :meth:`to_flat_terms` output."""
+        est = cls(p)
+        for x, threshold, weight in vertex_terms:
+            est.add_vertex_term(x, threshold, weight)
+        for x1, t1, x2, t2, weight in pair_terms:
+            est.add_pair_term(x1, t1, x2, t2, weight)
+        return est

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the mpc-ruling-sets library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.  Errors that
+indicate a *model violation* (an algorithm exceeding the MPC memory or
+per-round I/O budget) are deliberately separate from ordinary usage errors:
+a model violation means a simulated algorithm is not a valid MPC algorithm
+for the configured regime, which benchmarks must surface, never swallow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph operation."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range or otherwise invalid."""
+
+
+class MPCError(ReproError):
+    """Base class for MPC simulator errors."""
+
+
+class MPCConfigError(MPCError):
+    """The MPC configuration is inconsistent (e.g. k*S smaller than input)."""
+
+
+class MPCViolationError(MPCError):
+    """An algorithm exceeded an MPC resource bound.
+
+    Raised when a machine's memory exceeds its budget, or a machine sends or
+    receives more words in one round than its memory allows.  This is a
+    *correctness* error for the simulated algorithm: the run does not
+    correspond to a legal execution in the MPC model.
+    """
+
+
+class MPCRoutingError(MPCError):
+    """A message was addressed to a machine id that does not exist."""
+
+
+class DerandomizationError(ReproError):
+    """Seed selection failed to meet its guaranteed bound.
+
+    The method of conditional expectations guarantees the chosen seed scores
+    at least the family average; if internal invariants are broken this is
+    raised rather than silently returning a bad seed.
+    """
+
+
+class AlgorithmError(ReproError):
+    """An algorithm produced an invalid intermediate or final state."""
+
+
+class CongestViolationError(ReproError):
+    """A LOCAL-model message exceeded the CONGEST bandwidth bound.
+
+    Raised by :class:`repro.local.LocalNetwork` when run in CONGEST mode
+    and a vertex broadcasts a payload wider than the configured number of
+    words (the model's O(log n)-bit messages).
+    """
+
+
+class VerificationError(ReproError):
+    """A claimed ruling set failed verification."""

@@ -1,0 +1,77 @@
+"""Incremental graph construction with duplicate tolerance.
+
+:class:`repro.graph.Graph` rejects duplicate edges so that CSR invariants
+are airtight, but workload generators and file readers naturally produce
+duplicates (e.g. an edge sampled twice, or both orientations present in a
+file).  ``GraphBuilder`` absorbs those: it deduplicates, drops self-loops,
+and grows the vertex set on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+class GraphBuilder:
+    """Mutable accumulator that finalises into an immutable :class:`Graph`.
+
+    Simple-graph semantics are enforced silently: adding an edge twice (in
+    either orientation) is a no-op, and self-loops are dropped, because that
+    is what every generator and file reader wants.
+
+    >>> b = GraphBuilder()
+    >>> b.add_edge(0, 3)
+    >>> b.add_edge(3, 0)          # duplicate orientation: absorbed
+    >>> b.add_edge(2, 2)          # self-loop: dropped
+    >>> g = b.build()
+    >>> g.num_vertices, g.num_edges
+    (4, 1)
+    """
+
+    def __init__(self, num_vertices: int = 0):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be >= 0")
+        self._num_vertices = num_vertices
+        self._edges: Set[Tuple[int, int]] = set()
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex-set size (grows as edges are added)."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct edges accumulated so far."""
+        return len(self._edges)
+
+    def ensure_vertex(self, v: int) -> None:
+        """Grow the vertex set to include ``v``."""
+        if v < 0:
+            raise GraphError(f"vertex ids must be non-negative, got {v}")
+        if v >= self._num_vertices:
+            self._num_vertices = v + 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add edge ``{u, v}``; duplicates and self-loops are absorbed."""
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        if u == v:
+            return
+        self._edges.add((u, v) if u < v else (v, u))
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Add every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if the edge has been added already."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edges
+
+    def build(self) -> Graph:
+        """Finalise into an immutable :class:`Graph`."""
+        return Graph.from_edges(self._num_vertices, sorted(self._edges))

@@ -1,0 +1,186 @@
+"""The core immutable graph type.
+
+``Graph`` stores an undirected simple graph in compressed-sparse-row form:
+one flat adjacency array plus per-vertex offsets.  Adjacency lists are kept
+sorted, which makes neighbourhood queries, equality checks, and the
+deterministic algorithms' iteration orders canonical — two graphs built from
+the same edge set compare equal and every traversal order is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import GraphError, VertexError
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """An immutable, undirected, simple graph on vertices ``0..n-1``.
+
+    Construct via :meth:`from_edges`, :class:`repro.graph.GraphBuilder`, or a
+    generator from :mod:`repro.graph.generators`.
+
+    >>> g = Graph.from_edges(3, [(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> list(g.neighbors(1))
+    [0, 2]
+    """
+
+    __slots__ = ("_indptr", "_indices", "_num_edges")
+
+    def __init__(self, indptr: Sequence[int], indices: Sequence[int]):
+        """Build from CSR arrays directly (advanced; prefer ``from_edges``).
+
+        ``indptr`` has length ``n + 1``; the neighbours of ``v`` are
+        ``indices[indptr[v]:indptr[v+1]]`` and must be sorted, in-range,
+        self-loop free, duplicate free, and symmetric.
+        """
+        self._indptr: List[int] = list(indptr)
+        self._indices: List[int] = list(indices)
+        if not self._indptr or self._indptr[0] != 0:
+            raise GraphError("indptr must start with 0")
+        if self._indptr[-1] != len(self._indices):
+            raise GraphError("indptr must end at len(indices)")
+        if len(self._indices) % 2 != 0:
+            raise GraphError("undirected CSR must have even index count")
+        self._num_edges = len(self._indices) // 2
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an edge iterable.
+
+        Duplicate edges (in either orientation) are rejected, as are
+        self-loops and out-of-range endpoints.
+
+        >>> Graph.from_edges(2, [(0, 1)]).num_edges
+        1
+        """
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        adjacency: List[List[int]] = [[] for _ in range(num_vertices)]
+        seen = set()
+        for u, v in edges:
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise VertexError(
+                    f"edge ({u}, {v}) out of range for n={num_vertices}"
+                )
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u} is not allowed")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise GraphError(f"duplicate edge {key}")
+            seen.add(key)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        indptr = [0]
+        indices: List[int] = []
+        for neighbors in adjacency:
+            neighbors.sort()
+            indices.extend(neighbors)
+            indptr.append(len(indices))
+        return cls(indptr, indices)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "Graph":
+        """Return the edgeless graph on ``num_vertices`` vertices."""
+        return cls.from_edges(num_vertices, [])
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """Return ``range(n)``."""
+        return range(self.num_vertices)
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise VertexError(f"vertex {v} out of range for n={self.num_vertices}")
+
+    def degree(self, v: int) -> int:
+        """Return the degree of ``v``.
+
+        >>> Graph.from_edges(3, [(0, 1), (0, 2)]).degree(0)
+        2
+        """
+        self._check_vertex(v)
+        return self._indptr[v + 1] - self._indptr[v]
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Return the sorted neighbour list of ``v`` (read-only view)."""
+        self._check_vertex(v)
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True if ``{u, v}`` is an edge (binary search, O(log d)).
+
+        >>> g = Graph.from_edges(3, [(0, 1)])
+        >>> g.has_edge(1, 0)
+        True
+        >>> g.has_edge(1, 2)
+        False
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._indices[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < self._indptr[u + 1] and self._indices[lo] == v
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield each undirected edge once as ``(u, v)`` with ``u < v``."""
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    def max_degree(self) -> int:
+        """Return the maximum degree Δ (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return max(
+            self._indptr[v + 1] - self._indptr[v] for v in self.vertices()
+        )
+
+    def degrees(self) -> List[int]:
+        """Return the degree sequence indexed by vertex."""
+        return [
+            self._indptr[v + 1] - self._indptr[v] for v in self.vertices()
+        ]
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._indptr == other._indptr and self._indices == other._indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._indptr), tuple(self._indices)))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -1,0 +1,70 @@
+"""Plain-text edge-list persistence.
+
+Format: a header line ``n m`` followed by ``m`` lines ``u v`` with
+``u < v``.  Lines starting with ``#`` are comments.  The format is chosen
+for interoperability: it round-trips through this module and loads directly
+into networkx / SNAP-style tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in header + edge-list format."""
+    target = Path(path)
+    with target.open("w", encoding="ascii") as handle:
+        handle.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Tolerates comment lines and both edge orientations; validates the
+    header's vertex count and edge count.
+    """
+    source = Path(path)
+    header = None
+    builder = None
+    declared_edges = 0
+    with source.open("r", encoding="ascii") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if header is None:
+                if len(parts) != 2:
+                    raise GraphError(f"bad header line: {line!r}")
+                header = (int(parts[0]), int(parts[1]))
+                declared_edges = header[1]
+                builder = GraphBuilder(header[0])
+                continue
+            if len(parts) != 2:
+                raise GraphError(f"bad edge line: {line!r}")
+            builder.add_edge(int(parts[0]), int(parts[1]))
+    if header is None or builder is None:
+        raise GraphError(f"no header found in {source}")
+    graph = builder.build()
+    if graph.num_vertices > header[0]:
+        raise GraphError(
+            f"edge endpoints exceed declared n={header[0]} in {source}"
+        )
+    if graph.num_edges != declared_edges:
+        raise GraphError(
+            f"declared m={declared_edges} but read {graph.num_edges} edges"
+        )
+    # Pad isolated vertices lost by the builder if header n is larger.
+    if graph.num_vertices < header[0]:
+        graph = Graph.from_edges(header[0], list(graph.edges()))
+    return graph

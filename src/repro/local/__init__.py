@@ -1,0 +1,47 @@
+"""The LOCAL model simulator and classic distributed baselines.
+
+The LOCAL model (synchronous message passing, one message per edge per
+round, unbounded local computation) is where the classic symmetry-breaking
+algorithms live.  This package provides:
+
+* :class:`LocalNetwork` — a synchronous round simulator over a
+  :class:`repro.graph.Graph`;
+* Luby's randomized MIS (``O(log n)`` rounds w.h.p.);
+* the deterministic bitwise-ID ``(2, O(log n))``-ruling set in the style
+  of Awerbuch–Goldberg–Luby–Plotkin (``O(log n)`` rounds);
+* Linial's deterministic colour reduction (``O(Δ²)`` colours in
+  ``O(log* n)`` rounds) and the colouring-based deterministic MIS.
+
+The network also supports **CONGEST mode** (bounded message words), and
+every algorithm here fits O(1)-word messages.
+
+These are the baselines for experiment E8: they pin down the LOCAL-model
+round counts that the MPC algorithms are compared against.
+"""
+
+from repro.local.network import LocalNetwork, LocalRunResult, VertexAlgorithm
+from repro.local.algorithms.luby_mis import LubyMIS, run_luby_mis
+from repro.local.algorithms.agl_ruling import (
+    BitwiseRulingSet,
+    run_bitwise_ruling_set,
+)
+from repro.local.algorithms.linial_coloring import (
+    LinialColoring,
+    mis_from_coloring,
+    run_coloring_mis,
+    run_linial_coloring,
+)
+
+__all__ = [
+    "LocalNetwork",
+    "LocalRunResult",
+    "VertexAlgorithm",
+    "LubyMIS",
+    "run_luby_mis",
+    "BitwiseRulingSet",
+    "run_bitwise_ruling_set",
+    "LinialColoring",
+    "run_linial_coloring",
+    "mis_from_coloring",
+    "run_coloring_mis",
+]

@@ -1,0 +1,26 @@
+"""Classic LOCAL-model algorithms used as baselines."""
+
+from repro.local.algorithms.luby_mis import LubyMIS, run_luby_mis
+from repro.local.algorithms.agl_ruling import (
+    BitwiseRulingSet,
+    run_bitwise_ruling_set,
+)
+from repro.local.algorithms.linial_coloring import (
+    ColorClassMIS,
+    LinialColoring,
+    mis_from_coloring,
+    run_coloring_mis,
+    run_linial_coloring,
+)
+
+__all__ = [
+    "LubyMIS",
+    "run_luby_mis",
+    "BitwiseRulingSet",
+    "run_bitwise_ruling_set",
+    "ColorClassMIS",
+    "LinialColoring",
+    "run_linial_coloring",
+    "mis_from_coloring",
+    "run_coloring_mis",
+]

@@ -1,0 +1,86 @@
+"""Deterministic bitwise-ID ruling set (Awerbuch–Goldberg–Luby–Plotkin style).
+
+Computes a ``(2, O(log n))``-ruling set in ``O(log n)`` LOCAL rounds with
+no randomness, by merging id-classes bottom-up, one id bit per level:
+
+* Initially every vertex is a ruler (``R = V``); classes are full ids.
+* At level ``b`` (processing bit ``b``, least-significant first), two
+  rulers belong to the same *class* if their ids agree above bit ``b``.
+  Within each class, rulers with bit ``b`` = 1 abdicate if any neighbour
+  ruler of the same class has bit ``b`` = 0.
+
+Invariants (proved in ``tests/local/test_agl_ruling.py`` by checking the
+output): after the last level ``R`` is independent, and every vertex is
+within ``ceil(log2 n)`` hops of ``R`` — each level can push a vertex's
+nearest ruler at most one hop away, because an abdicating ruler is
+adjacent to a surviving same-class ruler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.graph.graph import Graph
+from repro.local.network import LocalNetwork, VertexAlgorithm
+from repro.util.mathx import ilog2_ceil
+
+
+@dataclass
+class _RulingState:
+    in_r: bool
+    bits: int  # total id bits
+
+
+class BitwiseRulingSet(VertexAlgorithm):
+    """One level per round: rulers broadcast (class-prefix, current bit)."""
+
+    def __init__(self, num_vertices: int):
+        self.bits = max(1, ilog2_ceil(max(2, num_vertices)))
+
+    def init(self, v: int, degree: int) -> _RulingState:
+        return _RulingState(in_r=True, bits=self.bits)
+
+    def message(self, v: int, state: _RulingState, round_no: int) -> Any:
+        if not state.in_r or round_no >= state.bits:
+            return None
+        prefix = v >> (round_no + 1)
+        bit = (v >> round_no) & 1
+        return (prefix, bit)
+
+    def update(
+        self,
+        v: int,
+        state: _RulingState,
+        inbox: List[Tuple[int, Any]],
+        round_no: int,
+    ) -> _RulingState:
+        if not state.in_r or round_no >= state.bits:
+            return state
+        my_prefix = v >> (round_no + 1)
+        my_bit = (v >> round_no) & 1
+        if my_bit == 1:
+            for _, (prefix, bit) in inbox:
+                if prefix == my_prefix and bit == 0:
+                    state.in_r = False
+                    break
+        return state
+
+    def halted(self, v: int, state: _RulingState) -> bool:
+        return not state.in_r
+
+
+def run_bitwise_ruling_set(graph: Graph) -> Tuple[List[int], int]:
+    """Run the bitwise ruling set; return ``(rulers, rounds)``.
+
+    The run needs exactly ``ceil(log2 n)`` rounds; the network is told to
+    run that many (halting early only if R becomes empty, which cannot
+    happen — bit-0 vertices never abdicate at their level).
+    """
+    if graph.num_vertices == 0:
+        return [], 0
+    algorithm = BitwiseRulingSet(graph.num_vertices)
+    network = LocalNetwork(graph)
+    result = network.run(algorithm, max_rounds=algorithm.bits)
+    members = [v for v in graph.vertices() if result.states[v].in_r]
+    return members, algorithm.bits

@@ -1,0 +1,173 @@
+"""Synchronous LOCAL / CONGEST round simulator.
+
+A :class:`VertexAlgorithm` defines per-vertex behaviour; the network runs
+rounds until every vertex halts or a round limit is hit.  Per round every
+non-halted vertex may broadcast one payload to all neighbours (the LOCAL
+model allows distinct per-neighbour messages; broadcast suffices for every
+algorithm here and keeps the interface small), then updates its state from
+the received payloads.
+
+**CONGEST mode.**  Pass ``bandwidth_words`` to bound message sizes: each
+broadcast payload is measured in machine words (ints and flat containers,
+same accounting as the MPC simulator) and a payload exceeding the bound
+raises :class:`~repro.errors.CongestViolationError`.  The classic setting
+is O(log n) bits = O(1) words; both baselines in this package fit in 3
+words, which their tests assert.
+
+Determinism: vertices are processed in id order, inboxes are sorted by
+sender id, and any randomness must come through the algorithm's own seeded
+streams — the network itself draws no random bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import AlgorithmError, CongestViolationError
+
+
+def payload_words(payload: Any) -> int:
+    """Size of a LOCAL message payload in words (ints + flat containers).
+
+    Strings of up to 8 characters cost one word (they appear only as
+    small message tags).
+
+    >>> payload_words(("prio", (12345, 6)))
+    3
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bool, int, float)):
+        return 1
+    if isinstance(payload, str):
+        return (len(payload) + 7) // 8
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(payload_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(
+            payload_words(k) + payload_words(v) for k, v in payload.items()
+        )
+    raise TypeError(
+        f"cannot account for payload of type {type(payload).__name__}"
+    )
+
+
+class VertexAlgorithm:
+    """Base class for LOCAL-model vertex programs.
+
+    Subclasses override the four hooks; states may be any mutable object
+    (LOCAL does not meter memory).
+    """
+
+    def init(self, v: int, degree: int) -> Any:
+        """Return vertex ``v``'s initial state."""
+        raise NotImplementedError
+
+    def message(self, v: int, state: Any, round_no: int) -> Any:
+        """Payload ``v`` broadcasts this round (None = silent)."""
+        raise NotImplementedError
+
+    def update(
+        self,
+        v: int,
+        state: Any,
+        inbox: List[Tuple[int, Any]],
+        round_no: int,
+    ) -> Any:
+        """Return ``v``'s new state given neighbour messages."""
+        raise NotImplementedError
+
+    def halted(self, v: int, state: Any) -> bool:
+        """True once ``v`` will neither send nor change state again."""
+        raise NotImplementedError
+
+
+@dataclass
+class LocalRunResult:
+    """Outcome of a LOCAL run: final states and the rounds consumed."""
+
+    states: List[Any]
+    rounds: int
+    completed: bool
+    max_message_words: int = 0
+    total_messages: int = 0
+
+
+class LocalNetwork:
+    """Runs a :class:`VertexAlgorithm` on a graph.
+
+    ``bandwidth_words=None`` is the LOCAL model (unbounded messages);
+    an integer bound is the CONGEST model with that word budget.
+    """
+
+    def __init__(self, graph, bandwidth_words: Optional[int] = None):
+        if bandwidth_words is not None and bandwidth_words < 1:
+            raise AlgorithmError("bandwidth_words must be >= 1 or None")
+        self.graph = graph
+        self.bandwidth_words = bandwidth_words
+
+    def run(
+        self, algorithm: VertexAlgorithm, max_rounds: int = 10_000
+    ) -> LocalRunResult:
+        """Execute until all vertices halt or ``max_rounds`` elapse."""
+        graph = self.graph
+        states: List[Any] = [
+            algorithm.init(v, graph.degree(v)) for v in graph.vertices()
+        ]
+        rounds = 0
+        max_words = 0
+        total_messages = 0
+        for _ in range(max_rounds):
+            if all(
+                algorithm.halted(v, states[v]) for v in graph.vertices()
+            ):
+                return LocalRunResult(
+                    states=states, rounds=rounds, completed=True,
+                    max_message_words=max_words,
+                    total_messages=total_messages,
+                )
+            outgoing: Dict[int, Any] = {}
+            for v in graph.vertices():
+                if algorithm.halted(v, states[v]):
+                    continue
+                payload = algorithm.message(v, states[v], rounds)
+                if payload is not None:
+                    words = payload_words(payload)
+                    max_words = max(max_words, words)
+                    if (
+                        self.bandwidth_words is not None
+                        and words > self.bandwidth_words
+                    ):
+                        raise CongestViolationError(
+                            f"vertex {v} broadcast {words} words in round "
+                            f"{rounds}, CONGEST budget "
+                            f"{self.bandwidth_words}"
+                        )
+                    outgoing[v] = payload
+                    total_messages += graph.degree(v)
+            for v in graph.vertices():
+                if algorithm.halted(v, states[v]):
+                    continue
+                inbox = [
+                    (u, outgoing[u])
+                    for u in graph.neighbors(v)
+                    if u in outgoing
+                ]
+                states[v] = algorithm.update(v, states[v], inbox, rounds)
+            rounds += 1
+        completed = all(
+            algorithm.halted(v, states[v]) for v in graph.vertices()
+        )
+        return LocalRunResult(
+            states=states, rounds=rounds, completed=completed,
+            max_message_words=max_words, total_messages=total_messages,
+        )
+
+
+def require_completed(result: LocalRunResult, what: str) -> None:
+    """Raise :class:`AlgorithmError` unless the run completed."""
+    if not result.completed:
+        raise AlgorithmError(
+            f"{what} did not converge within {result.rounds} rounds"
+        )

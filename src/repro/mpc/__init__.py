@@ -1,0 +1,33 @@
+"""The Massively Parallel Computation (MPC) simulator.
+
+This package is the substitute for the cluster hardware the paper assumes:
+a single-process, cycle-accurate simulator of the MPC model.
+
+* :class:`MPCConfig` fixes the regime — ``k`` machines with ``S`` words of
+  memory each (``sublinear`` ``S = n^α``, ``near-linear``, or explicit).
+* :class:`Simulator` executes supersteps: a *local* step runs per-machine
+  computation; a *communicate* step routes messages and advances the round
+  counter.  Both enforce the model's budgets — exceeding per-machine memory
+  or per-round I/O raises :class:`repro.errors.MPCViolationError` rather
+  than silently continuing, so a completed run certifies model compliance.
+* :class:`RunMetrics` records rounds, words, message counts, and peak
+  memory; benchmarks report these, not wall-clock, because the paper's
+  claims are round-complexity claims.
+"""
+
+from repro.mpc.config import MPCConfig
+from repro.mpc.machine import Machine, words_of
+from repro.mpc.message import Message
+from repro.mpc.metrics import RunMetrics
+from repro.mpc.simulator import Simulator
+from repro.mpc.graph_store import DistributedGraph
+
+__all__ = [
+    "MPCConfig",
+    "Machine",
+    "words_of",
+    "Message",
+    "RunMetrics",
+    "Simulator",
+    "DistributedGraph",
+]

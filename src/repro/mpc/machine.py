@@ -1,0 +1,105 @@
+"""A simulated MPC machine: local store, inbox, and memory accounting.
+
+A machine's state is a free-form ``store`` dict manipulated by algorithm
+callbacks, plus the ``inbox`` of payload tuples delivered by the last
+communication step.  Memory is measured in *words* by :func:`words_of`,
+which deliberately supports only flat integer-bearing containers — if an
+algorithm tries to stash an arbitrary object on a machine, accounting
+raises instead of under-counting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class Costed:
+    """An opaque value with an explicitly declared word cost.
+
+    Used by adapters (e.g. the LOCAL→MPC bridge) that must store state
+    objects the accountant cannot introspect: the adapter *declares* the
+    cost, making the charge explicit and auditable instead of silently
+    zero.
+
+    >>> words_of(Costed("anything", words=7))
+    7
+    """
+
+    __slots__ = ("value", "words")
+
+    def __init__(self, value: Any, words: int):
+        if words < 0:
+            raise ValueError("declared word cost must be non-negative")
+        self.value = value
+        self.words = words
+
+
+def words_of(obj: Any) -> int:
+    """Return the size of ``obj`` in machine words.
+
+    Ints (arbitrary precision, by design — ids and counters) cost 1 word;
+    containers cost the sum of their contents (dicts: keys + values);
+    ``None`` costs 0 (absence of a value); strings cost one word per 8
+    characters (they appear only in phase labels, never in hot state);
+    :class:`Costed` wrappers cost their declared amount.
+
+    >>> words_of(5)
+    1
+    >>> words_of({1: (2, 3), 4: (5,)})
+    5
+    >>> words_of([(1, 2), (3,)])
+    3
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, Costed):
+        return obj.words
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 1
+    if isinstance(obj, float):
+        return 1
+    if isinstance(obj, str):
+        return (len(obj) + 7) // 8
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(words_of(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(words_of(k) + words_of(v) for k, v in obj.items())
+    raise TypeError(
+        f"cannot account for object of type {type(obj).__name__}; machine "
+        "state must be built from ints and flat containers"
+    )
+
+
+class Machine:
+    """One simulated machine.
+
+    Attributes
+    ----------
+    mid:
+        The machine id in ``0..k-1``.
+    store:
+        Algorithm-managed local state (ints and containers of ints).
+    inbox:
+        Payload tuples delivered by the most recent communication round,
+        sorted by (sender, payload) so iteration order is deterministic.
+    """
+
+    __slots__ = ("mid", "store", "inbox")
+
+    def __init__(self, mid: int):
+        self.mid = mid
+        self.store: Dict[str, Any] = {}
+        self.inbox: List[Tuple[int, ...]] = []
+
+    def memory_words(self) -> int:
+        """Current memory footprint: store plus inbox."""
+        return words_of(self.store) + words_of(self.inbox)
+
+    def clear_inbox(self) -> None:
+        """Drop delivered messages (an algorithm does this once consumed)."""
+        self.inbox = []
+
+    def __repr__(self) -> str:
+        return f"Machine(mid={self.mid}, words={self.memory_words()})"

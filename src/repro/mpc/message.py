@@ -1,0 +1,44 @@
+"""Messages exchanged between simulated MPC machines.
+
+Payloads are tuples of machine words (Python ints); the word count of a
+message is simply the tuple length.  Restricting payloads to flat integer
+tuples keeps the simulator's communication accounting honest — there is no
+way to smuggle an unbounded object across the network in "one word".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import MPCRoutingError
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message addressed to machine ``dst`` carrying integer words.
+
+    >>> Message(2, (7, 8, 9)).words
+    3
+    """
+
+    dst: int
+    payload: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise MPCRoutingError(f"invalid destination {self.dst}")
+        if not isinstance(self.payload, tuple):
+            raise TypeError(
+                f"payload must be a tuple of ints, got {type(self.payload).__name__}"
+            )
+        for word in self.payload:
+            if not isinstance(word, int) or isinstance(word, bool):
+                raise TypeError(
+                    f"payload words must be plain ints, got {word!r}"
+                )
+
+    @property
+    def words(self) -> int:
+        """Size of the message in machine words."""
+        return len(self.payload)

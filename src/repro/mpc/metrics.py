@@ -1,0 +1,91 @@
+"""Run metrics: the quantities the paper's theorems are *about*.
+
+A theory paper's "cost" of an MPC algorithm is its round count, with
+per-round communication and per-machine memory as side constraints.  The
+simulator therefore records:
+
+* ``rounds`` — number of communication supersteps;
+* ``total_messages`` / ``total_words`` — global communication volume;
+* ``max_words_sent`` / ``max_words_received`` — worst per-machine,
+  per-round I/O observed (must stay ≤ S; the simulator enforces it);
+* ``peak_memory_words`` — worst per-machine residency observed;
+* ``phases`` — named round ranges, so benches can attribute rounds to
+  algorithm stages (sparsify vs gather vs cleanup, seed search vs commit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class PhaseMark:
+    """A named phase beginning at ``start_round``."""
+
+    name: str
+    start_round: int
+
+
+@dataclass
+class RunMetrics:
+    """Mutable accumulator owned by a :class:`repro.mpc.Simulator`."""
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_words: int = 0
+    max_words_sent: int = 0
+    max_words_received: int = 0
+    peak_memory_words: int = 0
+    phases: List[PhaseMark] = field(default_factory=list)
+
+    def begin_phase(self, name: str) -> None:
+        """Mark the start of a named phase at the current round."""
+        self.phases.append(PhaseMark(name=name, start_round=self.rounds))
+
+    def record_round(
+        self,
+        messages: int,
+        words: int,
+        max_sent: int,
+        max_received: int,
+    ) -> None:
+        """Record one communication superstep."""
+        self.rounds += 1
+        self.total_messages += messages
+        self.total_words += words
+        self.max_words_sent = max(self.max_words_sent, max_sent)
+        self.max_words_received = max(self.max_words_received, max_received)
+
+    def record_memory(self, words: int) -> None:
+        """Record an observed per-machine memory footprint."""
+        self.peak_memory_words = max(self.peak_memory_words, words)
+
+    def phase_rounds(self) -> Dict[str, int]:
+        """Rounds spent in each phase (later marks close earlier ones).
+
+        Repeated phase names accumulate, so per-iteration phases like
+        ``"luby-step"`` sum across iterations.
+        """
+        spans: Dict[str, int] = {}
+        for i, mark in enumerate(self.phases):
+            end = (
+                self.phases[i + 1].start_round
+                if i + 1 < len(self.phases)
+                else self.rounds
+            )
+            spans[mark.name] = spans.get(mark.name, 0) + (
+                end - mark.start_round
+            )
+        return spans
+
+    def summary(self) -> Dict[str, int]:
+        """Flat dict for table output."""
+        return {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "total_words": self.total_words,
+            "max_words_sent": self.max_words_sent,
+            "max_words_received": self.max_words_received,
+            "peak_memory_words": self.peak_memory_words,
+        }

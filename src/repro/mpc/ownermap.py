@@ -1,0 +1,167 @@
+"""Compact, computable vertex→machine ownership maps.
+
+A low-memory machine cannot store the full ``owner[v]`` table (that is
+``n`` words).  Ownership must instead be *computable* from O(k) words of
+shared metadata.  Three implementations:
+
+* :class:`RangeOwnerMap` — contiguous vertex ranges given by ``k + 1``
+  boundary values (produced from a balanced edge partition);
+* :class:`ModOwnerMap` — ``v mod k`` (O(1) words);
+* :class:`HashOwnerMap` — SplitMix64 of the id (O(1) words), used to check
+  partition-independence of algorithms.
+
+Every map exposes ``owner_of(v)``, its metadata footprint in words, and a
+``serialize()/deserialize()`` pair so the metadata can be shipped to
+machines as plain integer tuples.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import MPCConfigError
+from repro.graph.graph import Graph
+from repro.util.rng import splitmix64
+
+_KIND_RANGE = 0
+_KIND_MOD = 1
+_KIND_HASH = 2
+
+
+@dataclass(frozen=True)
+class RangeOwnerMap:
+    """Contiguous ranges: machine ``i`` owns ``[bounds[i], bounds[i+1])``."""
+
+    bounds: Tuple[int, ...]  # length k + 1, bounds[0] == 0
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) < 2 or self.bounds[0] != 0:
+            raise MPCConfigError("bounds must start at 0 with length k+1")
+        for a, b in zip(self.bounds, self.bounds[1:]):
+            if b < a:
+                raise MPCConfigError("bounds must be non-decreasing")
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def num_vertices(self) -> int:
+        return self.bounds[-1]
+
+    def owner_of(self, v: int) -> int:
+        """Return the owner of vertex ``v``.
+
+        >>> RangeOwnerMap((0, 2, 5)).owner_of(3)
+        1
+        """
+        if not 0 <= v < self.num_vertices:
+            raise MPCConfigError(f"vertex {v} out of range")
+        return bisect.bisect_right(self.bounds, v) - 1
+
+    def owned_by(self, machine: int) -> range:
+        """Vertices owned by ``machine``."""
+        return range(self.bounds[machine], self.bounds[machine + 1])
+
+    def table_words(self) -> int:
+        return len(self.bounds)
+
+    def serialize(self) -> Tuple[int, ...]:
+        return (_KIND_RANGE,) + self.bounds
+
+
+@dataclass(frozen=True)
+class ModOwnerMap:
+    """Round-robin ownership ``owner(v) = v mod k``."""
+
+    num_vertices: int
+    num_machines: int
+
+    def owner_of(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise MPCConfigError(f"vertex {v} out of range")
+        return v % self.num_machines
+
+    def owned_by(self, machine: int) -> range:
+        return range(machine, self.num_vertices, self.num_machines)
+
+    def table_words(self) -> int:
+        return 2
+
+    def serialize(self) -> Tuple[int, ...]:
+        return (_KIND_MOD, self.num_vertices, self.num_machines)
+
+
+@dataclass(frozen=True)
+class HashOwnerMap:
+    """Pseudo-random ownership via SplitMix64 of the vertex id."""
+
+    num_vertices: int
+    num_machines: int
+    seed: int = 0
+
+    def owner_of(self, v: int) -> int:
+        if not 0 <= v < self.num_vertices:
+            raise MPCConfigError(f"vertex {v} out of range")
+        return splitmix64(v ^ (self.seed * 0x9E3779B97F4A7C15)) % self.num_machines
+
+    def owned_by(self, machine: int) -> list:
+        return [
+            v for v in range(self.num_vertices) if self.owner_of(v) == machine
+        ]
+
+    def table_words(self) -> int:
+        return 3
+
+    def serialize(self) -> Tuple[int, ...]:
+        return (_KIND_HASH, self.num_vertices, self.num_machines, self.seed)
+
+
+def balanced_range_map(graph: Graph, num_machines: int) -> RangeOwnerMap:
+    """Contiguous ranges balancing adjacency words per machine.
+
+    Same greedy sweep as
+    :func:`repro.graph.partition.balanced_edge_partition`, expressed as
+    compact boundaries.
+
+    >>> g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    >>> balanced_range_map(g, 2).num_machines
+    2
+    """
+    if num_machines < 1:
+        raise MPCConfigError("need at least one machine")
+    n = graph.num_vertices
+    total = max(1, 2 * graph.num_edges + n)
+    # Ideal-boundary assignment: vertex v goes to the machine whose ideal
+    # cost interval contains v's prefix cost.  Every machine's load is at
+    # most total/k + (Δ + 1): no leftover pile-up on the last machine.
+    bounds = [0]
+    prefix = 0
+    current = 0
+    for v in range(n):
+        machine = prefix * num_machines // total
+        machine = min(machine, num_machines - 1)
+        while current < machine:
+            bounds.append(v)
+            current += 1
+        prefix += graph.degree(v) + 1
+    while len(bounds) < num_machines:
+        bounds.append(n)
+    bounds.append(n)
+    return RangeOwnerMap(tuple(bounds))
+
+
+def deserialize_owner_map(data: Tuple[int, ...]):
+    """Inverse of each map's ``serialize``."""
+    kind = data[0]
+    if kind == _KIND_RANGE:
+        return RangeOwnerMap(tuple(data[1:]))
+    if kind == _KIND_MOD:
+        return ModOwnerMap(num_vertices=data[1], num_machines=data[2])
+    if kind == _KIND_HASH:
+        return HashOwnerMap(
+            num_vertices=data[1], num_machines=data[2], seed=data[3]
+        )
+    raise MPCConfigError(f"unknown owner-map kind {kind}")

@@ -1,0 +1,62 @@
+"""Fanout-tree broadcast from machine 0.
+
+After ``broadcast_value(sim, value, key)`` every machine holds ``value``
+(a tuple of words) under ``store[key]``.  With per-value width ``L`` and
+send budget ``S``, the fanout is ``f = max(2, S // L)`` and the cost is
+``ceil(log_f k)`` rounds — one round in the common case ``S >= k * L``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mpc.message import Message
+from repro.mpc.simulator import Simulator
+
+
+def broadcast_value(
+    sim: Simulator, value: Tuple[int, ...], store_key: str
+) -> None:
+    """Broadcast ``value`` from machine 0 to all machines.
+
+    The value is planted at machine 0 (it is produced there by a
+    reduction; planting is free because machine 0 already computed it) and
+    propagated along the tree.
+    """
+    value = tuple(value)
+    width = max(1, len(value))
+    # Senders pay (fanout - 1) * width words on top of live state; keep
+    # the broadcast buffer within a quarter of the memory budget.
+    budget = max(2, (sim.config.memory_words // 4) // width)
+    fanout = min(max(2, budget), max(2, sim.num_machines))
+
+    sim.machine(0).store[store_key] = value
+
+    covered = 1
+    k = sim.num_machines
+    while covered < k:
+        level_covered = covered
+
+        def send_level(machine) -> List[Message]:
+            mid = machine.mid
+            if mid >= level_covered:
+                return []
+            payload = machine.store[store_key]
+            out = []
+            for j in range(1, fanout):
+                target = mid + j * level_covered
+                if level_covered <= 0:
+                    break
+                if target < min(k, level_covered * fanout):
+                    out.append(Message(target, tuple(payload)))
+            return out
+
+        sim.communicate(send_level)
+
+        def install(machine) -> None:
+            if machine.inbox:
+                machine.store[store_key] = tuple(machine.inbox[0])
+                machine.clear_inbox()
+
+        sim.local(install)
+        covered = min(k, covered * fanout)

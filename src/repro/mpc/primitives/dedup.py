@@ -1,0 +1,44 @@
+"""Distributed duplicate elimination.
+
+Items (fixed-width integer tuples) are shuffled by a deterministic hash of
+their value, so all copies of an item land on one machine, which keeps one
+of each.  One round; afterwards ``store[items_key]`` holds the machine's
+share of the distinct items, sorted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mpc.message import Message
+from repro.mpc.simulator import Simulator
+from repro.util.rng import splitmix64
+
+
+def _item_home(item: tuple, num_machines: int) -> int:
+    acc = 0x243F6A8885A308D3
+    for word in item:
+        acc = splitmix64(acc ^ word)
+    return acc % num_machines
+
+
+def dedup_items(sim: Simulator, items_key: str) -> None:
+    """Remove duplicate tuples across all machines (one round)."""
+    k = sim.num_machines
+
+    def route(machine) -> List[Message]:
+        items = machine.store.pop(items_key, [])
+        return [
+            Message(_item_home(tuple(item), k), tuple(item))
+            for item in items
+        ]
+
+    sim.communicate(route)
+
+    def keep_distinct(machine) -> None:
+        machine.store[items_key] = sorted(
+            {tuple(item) for item in machine.inbox}
+        )
+        machine.clear_inbox()
+
+    sim.local(keep_distinct)

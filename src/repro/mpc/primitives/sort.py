@@ -1,0 +1,104 @@
+"""Deterministic sample sort — the classic O(1)-round MPC primitive.
+
+Items are fixed-width integer tuples held per machine under
+``store[items_key]``.  The algorithm is sample sort with *regular
+sampling* (deterministic: every machine contributes its evenly spaced
+local order statistics, so no randomness is involved):
+
+1. each machine sorts locally and sends ``k-1`` evenly spaced samples to
+   machine 0                                                   (1 round)
+2. machine 0 sorts the ``k(k-1)`` samples and broadcasts ``k-1``
+   splitters                                       (``ceil(log_f k)`` rounds)
+3. every machine routes each item to its splitter bucket       (1 round)
+4. buckets sort locally — the items are now globally sorted by
+   (machine id, local index).
+
+With regular sampling no bucket exceeds ``2 * total / k`` items (plus
+duplicates of a single value), the textbook guarantee.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.mpc.message import Message
+from repro.mpc.primitives.broadcast import broadcast_value
+from repro.mpc.simulator import Simulator
+
+_SPLITTERS = "_prim_splitters"
+
+
+def sample_sort(sim: Simulator, items_key: str, width: int) -> None:
+    """Globally sort the ``width``-tuples stored under ``items_key``.
+
+    Afterwards machine ``i`` holds a sorted run and all items on machine
+    ``i`` precede all items on machine ``i + 1``.
+    """
+    k = sim.num_machines
+    if k == 1:
+        def sort_single(machine) -> None:
+            machine.store[items_key] = sorted(
+                tuple(item) for item in machine.store.get(items_key, [])
+            )
+        sim.local(sort_single)
+        return
+
+    def sort_and_sample(machine) -> List[Message]:
+        items = sorted(tuple(item) for item in machine.store.get(items_key, []))
+        machine.store[items_key] = items
+        if not items:
+            return []
+        samples = []
+        for j in range(1, k):
+            idx = (j * len(items)) // k
+            if idx < len(items):
+                samples.append(items[idx])
+        return [Message(0, sample) for sample in samples]
+
+    sim.communicate(sort_and_sample)
+
+    def pick_splitters(machine) -> None:
+        if machine.mid != 0:
+            return
+        samples = sorted(tuple(s) for s in machine.inbox)
+        machine.clear_inbox()
+        splitters: List[Tuple[int, ...]] = []
+        if samples:
+            for j in range(1, k):
+                idx = (j * len(samples)) // k
+                if idx < len(samples):
+                    splitters.append(samples[idx])
+        # Flatten for broadcast: count followed by concatenated tuples.
+        flat = [len(splitters)]
+        for splitter in splitters:
+            flat.extend(splitter)
+        machine.store["_prim_flat_splitters"] = tuple(flat)
+
+    sim.local(pick_splitters)
+    flat = sim.machine(0).store.pop("_prim_flat_splitters")
+    broadcast_value(sim, flat, _SPLITTERS)
+
+    def route(machine) -> List[Message]:
+        flat_local = machine.store.pop(_SPLITTERS)
+        count = flat_local[0]
+        splitters = [
+            tuple(flat_local[1 + i * width : 1 + (i + 1) * width])
+            for i in range(count)
+        ]
+        items = machine.store.pop(items_key)
+        out = []
+        for item in items:
+            bucket = bisect.bisect_right(splitters, tuple(item))
+            out.append(Message(min(bucket, k - 1), tuple(item)))
+        return out
+
+    sim.communicate(route)
+
+    def collect(machine) -> None:
+        machine.store[items_key] = sorted(
+            tuple(item) for item in machine.inbox
+        )
+        machine.clear_inbox()
+
+    sim.local(collect)

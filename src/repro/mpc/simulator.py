@@ -1,0 +1,147 @@
+"""The MPC superstep engine.
+
+An algorithm drives the simulator through two verbs:
+
+``local(fn)``
+    Run ``fn(machine)`` on every machine.  Free (no round consumed) —
+    in the MPC model local computation within a round is unbounded — but
+    memory budgets are still enforced afterwards.
+
+``communicate(fn)``
+    Run ``fn(machine) -> iterable[Message]`` on every machine, route the
+    messages, enforce the per-machine send/receive budget ``S``, deliver
+    inboxes, and advance the round counter.
+
+Determinism: machines are processed in id order and each inbox is sorted by
+``(sender id, arrival index)``, so a simulated run is a pure function of
+(algorithm, input, config).
+
+Budget enforcement is strict by default: a machine exceeding its memory
+budget, or sending/receiving more than ``S`` words in one superstep, aborts
+the run with :class:`~repro.errors.MPCViolationError`.  Benchmarks run
+strict, certifying that measured round counts come from model-legal
+executions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.errors import MPCRoutingError, MPCViolationError
+from repro.mpc.config import MPCConfig
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+from repro.mpc.metrics import RunMetrics
+
+MachineFn = Callable[[Machine], Optional[Iterable[Message]]]
+
+
+class Simulator:
+    """Executes MPC supersteps under a fixed :class:`MPCConfig`."""
+
+    def __init__(self, config: MPCConfig, enforce: bool = True):
+        self.config = config
+        self.enforce = enforce
+        self.machines: List[Machine] = [
+            Machine(mid) for mid in range(config.num_machines)
+        ]
+        self.metrics = RunMetrics()
+
+    # ------------------------------------------------------------------
+    # Supersteps
+    # ------------------------------------------------------------------
+    def local(self, fn: Callable[[Machine], None]) -> None:
+        """Apply a local computation to every machine (no round cost)."""
+        for machine in self.machines:
+            fn(machine)
+        self._check_memory()
+
+    def communicate(self, fn: MachineFn) -> None:
+        """One communication superstep.
+
+        ``fn`` runs on each machine and returns the messages it sends this
+        round (or None).  All messages are then routed simultaneously —
+        synchronous semantics: nothing sent this round is visible until the
+        round completes.
+        """
+        outboxes: List[List[Message]] = []
+        for machine in self.machines:
+            sent = fn(machine)
+            outboxes.append(list(sent) if sent is not None else [])
+
+        inboxes: List[List[Tuple[int, ...]]] = [
+            [] for _ in self.machines
+        ]
+        received_words = [0] * len(self.machines)
+        total_messages = 0
+        total_words = 0
+        max_sent = 0
+
+        for sender, outbox in enumerate(outboxes):
+            sent_words = 0
+            for message in outbox:
+                if message.dst >= len(self.machines):
+                    raise MPCRoutingError(
+                        f"machine {sender} sent to nonexistent machine "
+                        f"{message.dst} (k={len(self.machines)})"
+                    )
+                sent_words += message.words
+                received_words[message.dst] += message.words
+                inboxes[message.dst].append(message.payload)
+                total_messages += 1
+            total_words += sent_words
+            max_sent = max(max_sent, sent_words)
+            if self.enforce and sent_words > self.config.memory_words:
+                raise MPCViolationError(
+                    f"machine {sender} sent {sent_words} words in one round, "
+                    f"budget S={self.config.memory_words}"
+                )
+
+        max_received = max(received_words, default=0)
+        if self.enforce:
+            for mid, words in enumerate(received_words):
+                if words > self.config.memory_words:
+                    raise MPCViolationError(
+                        f"machine {mid} received {words} words in one "
+                        f"round, budget S={self.config.memory_words}"
+                    )
+
+        for machine, inbox in zip(self.machines, inboxes):
+            machine.inbox = inbox  # arrival order: sender id, then send order
+
+        self.metrics.record_round(
+            messages=total_messages,
+            words=total_words,
+            max_sent=max_sent,
+            max_received=max_received,
+        )
+        self._check_memory()
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def begin_phase(self, name: str) -> None:
+        """Label subsequent rounds with a phase name (for metrics)."""
+        self.metrics.begin_phase(name)
+
+    def machine(self, mid: int) -> Machine:
+        """Return machine ``mid``."""
+        return self.machines[mid]
+
+    @property
+    def num_machines(self) -> int:
+        """Machine count ``k``."""
+        return len(self.machines)
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _check_memory(self) -> None:
+        for machine in self.machines:
+            words = machine.memory_words()
+            self.metrics.record_memory(words)
+            if self.enforce and words > self.config.memory_words:
+                raise MPCViolationError(
+                    f"machine {machine.mid} holds {words} words, budget "
+                    f"S={self.config.memory_words}"
+                )

@@ -1,0 +1,153 @@
+"""Exact cyclic-interval arithmetic in ``Z_p``.
+
+The derandomization in :mod:`repro.derand` works with the affine hash family
+``h_{a,b}(x) = (a*x + b) mod p``.  Every event it cares about has the form
+``h(x) < T`` — equivalently ``b`` lies in a *cyclic interval* of length ``T``
+starting at ``(-a*x) mod p``.  Conditional expectations therefore reduce to
+measuring intersections of cyclic intervals with each other and with the
+contiguous ranges of ``b`` produced by fixing its bits most-significant
+first.  This module provides that arithmetic, exactly and in O(1) per
+operation.
+
+A cyclic interval is represented as ``(start, length)`` with
+``0 <= start < p`` and ``0 <= length <= p``; it denotes the set
+``{(start + i) mod p : 0 <= i < length}``.  Internally intervals are
+normalised into at most two *linear segments* ``[lo, hi)`` with
+``0 <= lo < hi <= p``, which compose under intersection by plain min/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+Segment = Tuple[int, int]  # half-open [lo, hi), 0 <= lo < hi <= p
+
+
+@dataclass(frozen=True)
+class CyclicInterval:
+    """A half-open cyclic interval ``[start, start+length) mod p``."""
+
+    start: int
+    length: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {self.modulus}")
+        if not 0 <= self.start < self.modulus:
+            raise ValueError(
+                f"start must lie in [0, {self.modulus}), got {self.start}"
+            )
+        if not 0 <= self.length <= self.modulus:
+            raise ValueError(
+                f"length must lie in [0, {self.modulus}], got {self.length}"
+            )
+
+    def contains(self, x: int) -> bool:
+        """Return True if ``x mod p`` lies in the interval.
+
+        >>> CyclicInterval(5, 4, 7).contains(1)   # wraps: {5, 6, 0, 1}
+        True
+        >>> CyclicInterval(5, 4, 7).contains(2)
+        False
+        """
+        offset = (x - self.start) % self.modulus
+        return offset < self.length
+
+    def segments(self) -> List[Segment]:
+        """Return the interval as at most two linear segments."""
+        return interval_to_segments(self.start, self.length, self.modulus)
+
+
+def interval_to_segments(start: int, length: int, p: int) -> List[Segment]:
+    """Split cyclic ``[start, start+length) mod p`` into linear segments.
+
+    >>> interval_to_segments(2, 3, 10)
+    [(2, 5)]
+    >>> interval_to_segments(8, 4, 10)   # wraps past p
+    [(0, 2), (8, 10)]
+    >>> interval_to_segments(3, 0, 10)
+    []
+    """
+    if length <= 0:
+        return []
+    if length >= p:
+        return [(0, p)]
+    end = start + length
+    if end <= p:
+        return [(start, end)]
+    return [(0, end - p), (start, p)]
+
+
+def intersect_segments(
+    first: Sequence[Segment], second: Sequence[Segment]
+) -> List[Segment]:
+    """Return the intersection of two segment lists.
+
+    Each input is a list of disjoint half-open segments; the output is the
+    (disjoint) pairwise intersection.  Inputs here always have at most two
+    segments, so the quadratic pairing is O(1).
+
+    >>> intersect_segments([(0, 5)], [(3, 8)])
+    [(3, 5)]
+    >>> intersect_segments([(0, 2), (8, 10)], [(1, 9)])
+    [(1, 2), (8, 9)]
+    """
+    out: List[Segment] = []
+    for lo1, hi1 in first:
+        for lo2, hi2 in second:
+            lo = max(lo1, lo2)
+            hi = min(hi1, hi2)
+            if lo < hi:
+                out.append((lo, hi))
+    out.sort()
+    return out
+
+
+def segments_length(segments: Iterable[Segment]) -> int:
+    """Total number of integers covered by disjoint segments.
+
+    >>> segments_length([(0, 2), (8, 10)])
+    4
+    """
+    return sum(hi - lo for lo, hi in segments)
+
+
+def segments_overlap_range(
+    segments: Sequence[Segment], lo: int, hi: int
+) -> int:
+    """Return ``|segments ∩ [lo, hi)|`` for disjoint segments.
+
+    This is the inner loop of bit-fixing: ``[lo, hi)`` is the set of values
+    of ``b`` consistent with the bits committed so far.
+
+    >>> segments_overlap_range([(0, 2), (8, 10)], 1, 9)
+    2
+    """
+    if lo >= hi:
+        return 0
+    total = 0
+    for seg_lo, seg_hi in segments:
+        inter_lo = max(seg_lo, lo)
+        inter_hi = min(seg_hi, hi)
+        if inter_lo < inter_hi:
+            total += inter_hi - inter_lo
+    return total
+
+
+def cyclic_overlap(first: CyclicInterval, second: CyclicInterval) -> int:
+    """Return the exact size of the intersection of two cyclic intervals.
+
+    Both intervals must share a modulus.
+
+    >>> a = CyclicInterval(8, 4, 10)   # {8, 9, 0, 1}
+    >>> b = CyclicInterval(9, 3, 10)   # {9, 0, 1}
+    >>> cyclic_overlap(a, b)
+    3
+    """
+    if first.modulus != second.modulus:
+        raise ValueError("intervals must share a modulus")
+    return segments_length(
+        intersect_segments(first.segments(), second.segments())
+    )

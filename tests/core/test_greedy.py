@@ -1,0 +1,80 @@
+"""Tests for the sequential greedy oracles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.greedy import greedy_mis, greedy_mis_on_edges, greedy_ruling_set
+from repro.core.verify import verify_ruling_set
+from repro.errors import AlgorithmError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.graph.properties import multi_source_distances
+
+
+class TestGreedyMIS:
+    def test_path(self, path4):
+        assert greedy_mis(path4) == [0, 2]
+
+    def test_respects_order(self, path4):
+        assert greedy_mis(path4, order=[1, 0, 2, 3]) == [1, 3]
+
+    def test_rejects_non_permutation(self, path4):
+        with pytest.raises(AlgorithmError):
+            greedy_mis(path4, order=[0, 0, 1, 2])
+
+    def test_edgeless(self):
+        g = Graph.empty(4)
+        assert greedy_mis(g) == [0, 1, 2, 3]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 40), st.integers(1, 6))
+    def test_always_maximal_independent(self, n, inv_p):
+        g = gen.gnp_random_graph(n, 1, inv_p + 1, seed=n)
+        verify_ruling_set(g, greedy_mis(g), alpha=2, beta=1)
+
+
+class TestGreedyOnEdges:
+    def test_sparse_ids(self):
+        assert greedy_mis_on_edges([5, 7, 9], [(5, 7), (7, 9)]) == [5, 9]
+
+    def test_isolated_included(self):
+        assert greedy_mis_on_edges([3, 8], []) == [3, 8]
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(AlgorithmError):
+            greedy_mis_on_edges([1, 2], [(1, 3)])
+
+    def test_matches_dense_greedy(self, small_er):
+        from_edges = greedy_mis_on_edges(
+            list(small_er.vertices()), list(small_er.edges())
+        )
+        assert from_edges == greedy_mis(small_er)
+
+
+class TestGreedyRulingSet:
+    def test_alpha_two_is_mis(self, small_er):
+        assert greedy_ruling_set(small_er, alpha=2) == greedy_mis(small_er)
+
+    def test_alpha_three_on_path(self):
+        g = gen.path_graph(7)
+        members = greedy_ruling_set(g, alpha=3)
+        assert members == [0, 3, 6]
+
+    def test_rejects_bad_alpha(self, path4):
+        with pytest.raises(AlgorithmError):
+            greedy_ruling_set(path4, alpha=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 35), st.integers(2, 4))
+    def test_alpha_independence_and_domination(self, n, alpha):
+        g = gen.gnp_random_graph(n, 1, 4, seed=n * alpha)
+        members = greedy_ruling_set(g, alpha=alpha)
+        # alpha-independence: pairwise distance >= alpha.
+        for s in members:
+            dist = multi_source_distances(g, [s])
+            for t in members:
+                if t != s and dist[t] >= 0:
+                    assert dist[t] >= alpha
+        # (alpha-1)-domination.
+        dist = multi_source_distances(g, members)
+        assert all(0 <= d <= alpha - 1 for d in dist)

@@ -1,0 +1,73 @@
+"""Tests for the ruling-set verifier (ground truth of the whole project)."""
+
+import pytest
+
+from repro.core.verify import check_ruling_set, verify_ruling_set
+from repro.errors import VerificationError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+
+class TestCheck:
+    def test_mis_on_path(self, path4):
+        check = check_ruling_set(path4, [0, 2])
+        assert check.independent_at == 2
+        assert check.measured_beta == 1
+        assert check.size == 2
+
+    def test_non_independent_detected(self, path4):
+        check = check_ruling_set(path4, [0, 1])
+        assert check.independent_at == 1
+
+    def test_alpha_three(self, path4):
+        assert check_ruling_set(path4, [0, 3], alpha=3).independent_at == 3
+        assert check_ruling_set(path4, [0, 2], alpha=3).independent_at == 1
+
+    def test_empty_graph(self):
+        check = check_ruling_set(Graph.empty(0), [])
+        assert check.size == 0
+
+    def test_empty_set_on_nonempty_graph(self, path4):
+        with pytest.raises(VerificationError):
+            check_ruling_set(path4, [])
+
+    def test_out_of_range_member(self, path4):
+        with pytest.raises(VerificationError):
+            check_ruling_set(path4, [9])
+
+
+class TestVerify:
+    def test_accepts_valid(self, path4):
+        verify_ruling_set(path4, [1], alpha=2, beta=2)
+
+    def test_rejects_dependence(self, path4):
+        with pytest.raises(VerificationError, match="independent"):
+            verify_ruling_set(path4, [0, 1], alpha=2, beta=1)
+
+    def test_rejects_bad_radius(self, path4):
+        with pytest.raises(VerificationError, match="radius"):
+            verify_ruling_set(path4, [0], alpha=2, beta=2)
+
+    def test_rejects_unreachable(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(VerificationError, match="unreachable"):
+            verify_ruling_set(g, [0], alpha=2, beta=5)
+
+    def test_measured_beta_can_be_smaller_than_claim(self, path4):
+        check = verify_ruling_set(path4, [0, 2], alpha=2, beta=5)
+        assert check.measured_beta == 1
+
+    def test_planted_instance(self):
+        g, centers = gen.planted_ruling_set_graph(5, 3, 2, seed=1)
+        verify_ruling_set(g, centers, alpha=2, beta=2)
+
+    def test_greedy_mis_verifies_everywhere(self):
+        from repro.core.greedy import greedy_mis
+
+        for make in (
+            lambda: gen.cycle_graph(9),
+            lambda: gen.complete_graph(7),
+            lambda: gen.gnp_random_graph(70, 1, 7, seed=2),
+        ):
+            g = make()
+            verify_ruling_set(g, greedy_mis(g), alpha=2, beta=1)

@@ -1,0 +1,108 @@
+"""The method of conditional expectations: guarantee and optimality checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.derand.conditional import (
+    choose_multiplier,
+    choose_seed,
+    fix_offset_bits,
+    scan_order_a,
+)
+from repro.derand.estimator import ThresholdEstimator
+from repro.derand.family import Seed
+from repro.errors import DerandomizationError
+
+PRIMES = [5, 7, 11, 13, 17]
+
+
+def random_estimator(draw, p, allow_empty=False):
+    est = ThresholdEstimator(p)
+    n_vertex = draw(st.integers(0 if allow_empty else 1, 4))
+    for _ in range(n_vertex):
+        est.add_vertex_term(
+            draw(st.integers(0, p - 1)),
+            draw(st.integers(0, p)),
+            draw(st.integers(-5, 5)),
+        )
+    for _ in range(draw(st.integers(0, 3))):
+        x1 = draw(st.integers(0, p - 1))
+        x2 = draw(st.integers(0, p - 1).filter(lambda x: x != x1))
+        est.add_pair_term(
+            x1, draw(st.integers(0, p)), x2, draw(st.integers(0, p)),
+            draw(st.integers(-5, 5)),
+        )
+    return est
+
+
+class TestScanOrder:
+    def test_covers_all_multipliers(self):
+        assert sorted(scan_order_a(7)) == list(range(7))
+
+    def test_zero_last(self):
+        assert list(scan_order_a(5))[-1] == 0
+
+
+class TestGuarantee:
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_chosen_seed_meets_family_average(self, p, data):
+        est = random_estimator(data.draw, p)
+        seed, stats = choose_seed(est)
+        assert est.value(seed) * p * p >= stats.expectation_x_p2
+        assert stats.achieved_value == est.value(seed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_chosen_at_least_average_of_best_a(self, p, data):
+        # The offset stage must not lose the multiplier's conditional value.
+        est = random_estimator(data.draw, p)
+        a, _, _ = choose_multiplier(est)
+        b, _ = fix_offset_bits(est, a)
+        assert est.value(Seed(a, b, p)) * p >= est.cond_a_x_p(a)
+
+    def test_empty_estimator_rejected(self):
+        with pytest.raises(DerandomizationError):
+            choose_seed(ThresholdEstimator(7))
+
+    def test_max_scan_respected(self):
+        # A negatively-weighted pair term: a = 1 keeps the two intervals
+        # overlapping in 5 points (score -65 < average -36), so the first
+        # candidate is rejected and max_scan = 0 aborts the scan.
+        est = ThresholdEstimator(13)
+        est.add_pair_term(0, 6, 1, 6, -1)
+        with pytest.raises(DerandomizationError):
+            choose_multiplier(est, max_scan=0)
+
+
+class TestKnownInstances:
+    def test_single_positive_term_maximized(self):
+        # One term w=1, T=3 on x=2: best seeds achieve value 1; the family
+        # average is 3/13 < 1, so the chosen seed must achieve exactly 1.
+        est = ThresholdEstimator(13)
+        est.add_vertex_term(2, 3, 1)
+        seed, _ = choose_seed(est)
+        assert est.value(seed) == 1
+
+    def test_negative_weight_pushes_to_zero(self):
+        # With weight -1 the best achievable is 0 (hash outside threshold).
+        est = ThresholdEstimator(13)
+        est.add_vertex_term(2, 3, -1)
+        seed, _ = choose_seed(est)
+        assert est.value(seed) == 0
+
+    def test_conflicting_pair(self):
+        # Reward x=1 below threshold, punish the pair (1, 2) both below:
+        # optimum is h(1) < 5 with h(2) >= 5, achieving value 2.
+        est = ThresholdEstimator(11)
+        est.add_vertex_term(1, 5, 2)
+        est.add_pair_term(1, 5, 2, 5, -10)
+        seed, _ = choose_seed(est)
+        assert est.value(seed) == 2
+
+    def test_stats_fields(self):
+        est = ThresholdEstimator(11)
+        est.add_vertex_term(3, 4, 1)
+        seed, stats = choose_seed(est)
+        assert stats.bits_fixed == 11 .bit_length()
+        assert stats.a_candidates_scanned >= 1

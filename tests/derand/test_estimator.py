@@ -1,0 +1,102 @@
+"""Estimator expectations vs brute force over the whole family."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.derand.estimator import ThresholdEstimator
+from repro.derand.family import Seed
+from repro.errors import DerandomizationError
+
+PRIMES = [5, 7, 11, 13]
+
+
+def random_estimator(draw, p):
+    est = ThresholdEstimator(p)
+    n_vertex = draw(st.integers(0, 4))
+    for _ in range(n_vertex):
+        est.add_vertex_term(
+            draw(st.integers(0, p - 1)),
+            draw(st.integers(0, p)),
+            draw(st.integers(-5, 5)),
+        )
+    n_pair = draw(st.integers(0, 4))
+    for _ in range(n_pair):
+        x1 = draw(st.integers(0, p - 1))
+        x2 = draw(st.integers(0, p - 1).filter(lambda x: x != x1))
+        est.add_pair_term(
+            x1,
+            draw(st.integers(0, p)),
+            x2,
+            draw(st.integers(0, p)),
+            draw(st.integers(-5, 5)),
+        )
+    return est
+
+
+class TestConstruction:
+    def test_rejects_equal_pair_points(self):
+        est = ThresholdEstimator(7)
+        with pytest.raises(DerandomizationError):
+            est.add_pair_term(3, 2, 3, 2, 1)
+
+    def test_rejects_equal_points_mod_p(self):
+        est = ThresholdEstimator(7)
+        with pytest.raises(DerandomizationError):
+            est.add_pair_term(1, 2, 8, 2, 1)
+
+    def test_rejects_bad_threshold(self):
+        est = ThresholdEstimator(7)
+        with pytest.raises(DerandomizationError):
+            est.add_vertex_term(0, 8, 1)
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(DerandomizationError):
+            ThresholdEstimator(1)
+
+    def test_flat_roundtrip(self):
+        est = ThresholdEstimator(11)
+        est.add_vertex_term(1, 5, 2)
+        est.add_pair_term(1, 5, 2, 6, -3)
+        vflat, pflat = est.to_flat_terms()
+        rebuilt = ThresholdEstimator.from_flat_terms(11, vflat, pflat)
+        for a in range(11):
+            for b in range(11):
+                seed = Seed(a, b, 11)
+                assert rebuilt.value(seed) == est.value(seed)
+
+
+class TestExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_expectation_matches_brute(self, p, data):
+        est = random_estimator(data.draw, p)
+        brute = sum(
+            est.value(Seed(a, b, p)) for a in range(p) for b in range(p)
+        )
+        assert est.expectation_x_p2() == brute
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_cond_a_matches_brute(self, p, data):
+        est = random_estimator(data.draw, p)
+        for a in range(p):
+            brute = sum(est.value(Seed(a, b, p)) for b in range(p))
+            assert est.cond_a_x_p(a) == brute
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(PRIMES), st.data())
+    def test_cond_range_matches_brute(self, p, data):
+        est = random_estimator(data.draw, p)
+        a = data.draw(st.integers(0, p - 1))
+        lo = data.draw(st.integers(0, p))
+        hi = data.draw(st.integers(lo, p))
+        brute = sum(est.value(Seed(a, b, p)) for b in range(lo, hi))
+        assert est.cond_ab_range(a, lo, hi) == brute
+
+    def test_cond_range_rejects_bad_range(self):
+        est = ThresholdEstimator(7)
+        est.add_vertex_term(0, 3, 1)
+        with pytest.raises(DerandomizationError):
+            est.cond_ab_range(1, 5, 3)
+        with pytest.raises(DerandomizationError):
+            est.cond_ab_range(1, 0, 9)

@@ -1,0 +1,92 @@
+"""Tests for the affine hash family, including exact pairwise independence."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.derand.family import AffineFamily, Seed, threshold_for_rate
+from repro.errors import DerandomizationError
+
+
+class TestSeed:
+    def test_hash(self):
+        assert Seed(2, 3, 7).hash(5) == (2 * 5 + 3) % 7
+
+    def test_validation(self):
+        with pytest.raises(DerandomizationError):
+            Seed(0, 0, 6)  # composite modulus
+        with pytest.raises(DerandomizationError):
+            Seed(7, 0, 7)  # a out of range
+
+    def test_index(self):
+        assert Seed(2, 3, 7).index() == 17
+
+
+class TestFamily:
+    def test_size(self):
+        assert AffineFamily(11).size == 121
+
+    def test_field_for_ids(self):
+        fam = AffineFamily.field_for_ids(100)
+        assert fam.p > 400
+
+    def test_field_headroom_one(self):
+        assert AffineFamily.field_for_ids(4, headroom=1).p >= 5
+
+    def test_rejects_composite(self):
+        with pytest.raises(DerandomizationError):
+            AffineFamily(10)
+
+    def test_enumeration_covers_family(self):
+        fam = AffineFamily(5)
+        seeds = {(s.a, s.b) for s in fam.enumerate_seeds()}
+        assert seeds == {(a, b) for a in range(5) for b in range(5)}
+
+    def test_enumeration_injective_first(self):
+        fam = AffineFamily(5)
+        first_block = [fam.seed_by_index(i) for i in range(5)]
+        assert all(s.a == 1 for s in first_block)
+
+    def test_pairwise_independence_exact(self):
+        # For distinct x != y, (h(x), h(y)) is uniform over Z_p^2.
+        p = 7
+        fam = AffineFamily(p)
+        x, y = 2, 5
+        counts = {}
+        for seed in fam.enumerate_seeds():
+            pair = (seed.hash(x), seed.hash(y))
+            counts[pair] = counts.get(pair, 0) + 1
+        assert len(counts) == p * p
+        assert set(counts.values()) == {1}
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    def test_marginal_uniformity(self, x, trial):
+        p = 11
+        fam = AffineFamily(p)
+        counts = [0] * p
+        for b in range(p):
+            counts[fam.seed(trial % p, b).hash(x)] += 1
+        assert set(counts) == {1}  # uniform over b for any fixed a
+
+
+class TestThresholdForRate:
+    def test_half(self):
+        assert threshold_for_rate(101, 1, 2) == 51
+
+    def test_never_zero(self):
+        assert threshold_for_rate(101, 0, 5) == 1
+
+    def test_capped_at_p(self):
+        assert threshold_for_rate(101, 7, 2) == 101
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(DerandomizationError):
+            threshold_for_rate(101, 1, 0)
+
+    @given(st.integers(2, 500), st.integers(1, 10), st.integers(1, 10))
+    def test_rate_at_least_requested(self, p_base, num, den):
+        from repro.util.prime import next_prime
+
+        p = next_prime(p_base)
+        t = threshold_for_rate(p, num, den)
+        if num <= den:
+            assert t * den >= p * num  # Pr[h < T] = T/p >= num/den

@@ -1,0 +1,82 @@
+"""Exact k-wise independence of the polynomial family."""
+
+from itertools import product
+
+import pytest
+
+from repro.derand.family import AffineFamily, PolynomialFamily, PolynomialSeed
+from repro.errors import DerandomizationError
+
+
+class TestPolynomialSeed:
+    def test_horner(self):
+        seed = PolynomialSeed((3, 2, 1), 7)
+        assert seed.hash(2) == (3 + 2 * 2 + 1 * 4) % 7
+
+    def test_constant_polynomial(self):
+        seed = PolynomialSeed((5,), 7)
+        assert all(seed.hash(x) == 5 for x in range(7))
+
+    def test_validation(self):
+        with pytest.raises(DerandomizationError):
+            PolynomialSeed((), 7)
+        with pytest.raises(DerandomizationError):
+            PolynomialSeed((8,), 7)
+        with pytest.raises(DerandomizationError):
+            PolynomialSeed((1,), 6)
+
+    def test_independence_attribute(self):
+        assert PolynomialSeed((1, 2, 3), 7).independence == 3
+
+
+class TestPolynomialFamily:
+    def test_size(self):
+        assert PolynomialFamily(5, 3).size == 125
+
+    def test_index_roundtrip(self):
+        fam = PolynomialFamily(5, 2)
+        seeds = {fam.seed_by_index(i).coefficients for i in range(fam.size)}
+        assert len(seeds) == 25
+
+    def test_matches_affine_for_k2(self):
+        poly = PolynomialFamily(11, 2)
+        seed = poly.seed_by_index(3 + 11 * 7)  # c0=3, c1=7
+        affine = AffineFamily(11).seed(7, 3)
+        for x in range(11):
+            assert seed.hash(x) == affine.hash(x)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exact_kwise_independence(self, k):
+        # For k distinct points, (h(x1)..h(xk)) hits every value vector
+        # exactly once across the family — the bijection of interpolation.
+        p = 5
+        fam = PolynomialFamily(p, k)
+        points = list(range(k))
+        counts = {}
+        for i in range(fam.size):
+            seed = fam.seed_by_index(i)
+            key = tuple(seed.hash(x) for x in points)
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == p**k
+        assert set(counts.values()) == {1}
+
+    def test_beyond_k_not_uniform(self):
+        # k+1 points cannot be uniform: the family is exactly k-wise.
+        p = 5
+        fam = PolynomialFamily(p, 2)
+        counts = {}
+        for i in range(fam.size):
+            seed = fam.seed_by_index(i)
+            key = tuple(seed.hash(x) for x in (0, 1, 2))
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) < p**3  # many triples unreachable
+
+    def test_scan_seed_deterministic(self):
+        fam = PolynomialFamily(13, 3)
+        assert fam.scan_seed(9) == fam.scan_seed(9)
+
+    def test_validation(self):
+        with pytest.raises(DerandomizationError):
+            PolynomialFamily(6, 2)
+        with pytest.raises(DerandomizationError):
+            PolynomialFamily(7, 0)

@@ -1,0 +1,58 @@
+"""Tests for GraphBuilder semantics (dedup, self-loop absorption, growth)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+
+
+class TestBuilder:
+    def test_deduplicates_orientations(self):
+        b = GraphBuilder()
+        b.add_edge(0, 3)
+        b.add_edge(3, 0)
+        assert b.num_edges == 1
+
+    def test_drops_self_loops(self):
+        b = GraphBuilder()
+        b.add_edge(2, 2)
+        assert b.num_edges == 0
+        assert b.num_vertices == 3  # vertex set still grew
+
+    def test_grows_vertex_set(self):
+        b = GraphBuilder(num_vertices=2)
+        b.add_edge(0, 7)
+        assert b.num_vertices == 8
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edge(-1, 0)
+
+    def test_rejects_negative_initial_size(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(num_vertices=-1)
+
+    def test_has_edge(self):
+        b = GraphBuilder()
+        b.add_edge(1, 2)
+        assert b.has_edge(2, 1)
+        assert not b.has_edge(1, 3)
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2), (0, 1)])
+        assert b.num_edges == 2
+
+    def test_build_preserves_isolated_prefix(self):
+        b = GraphBuilder(num_vertices=5)
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_build_matches_edges(self):
+        b = GraphBuilder()
+        edges = [(0, 5), (5, 2), (2, 0)]
+        b.add_edges(edges)
+        g = b.build()
+        assert set(g.edges()) == {(0, 2), (0, 5), (2, 5)}

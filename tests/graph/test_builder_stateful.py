@@ -1,0 +1,54 @@
+"""Stateful property testing of GraphBuilder against a model set.
+
+Hypothesis drives arbitrary interleavings of edge additions and checks
+the builder against a plain Python set model, then verifies the built
+graph's invariants (symmetry, handshake lemma, dedup).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+
+VERTICES = st.integers(0, 30)
+
+
+class BuilderMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.builder = GraphBuilder()
+        self.model = set()
+        self.max_vertex = -1
+
+    @rule(u=VERTICES, v=VERTICES)
+    def add_edge(self, u, v):
+        self.builder.add_edge(u, v)
+        self.max_vertex = max(self.max_vertex, u, v)
+        if u != v:
+            self.model.add((min(u, v), max(u, v)))
+
+    @rule(u=VERTICES, v=VERTICES)
+    def query_has_edge(self, u, v):
+        expected = (min(u, v), max(u, v)) in self.model
+        assert self.builder.has_edge(u, v) == expected
+
+    @invariant()
+    def counts_match_model(self):
+        assert self.builder.num_edges == len(self.model)
+        assert self.builder.num_vertices == self.max_vertex + 1
+
+    @invariant()
+    def build_is_consistent(self):
+        graph = self.builder.build()
+        assert set(graph.edges()) == self.model
+        assert sum(graph.degrees()) == 2 * len(self.model)
+        for v in graph.vertices():
+            for u in graph.neighbors(v):
+                assert v in graph.neighbors(u)
+
+
+BuilderMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestBuilderStateful = BuilderMachine.TestCase

@@ -1,0 +1,122 @@
+"""Unit and property tests for the core Graph type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError, VertexError
+from repro.graph.graph import Graph
+
+
+def edge_list_strategy(max_n=25):
+    """Random simple-graph edge sets with their vertex count."""
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.sets(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).map(
+                    lambda e: (min(e), max(e))
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=n * 2,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_basic(self, path4):
+        assert path4.num_vertices == 4
+        assert path4.num_edges == 3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(2, [(1, 1)])
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(VertexError):
+            Graph.from_edges(2, [(0, 2)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(-1, [])
+
+    def test_zero_vertices(self):
+        g = Graph.empty(0)
+        assert g.num_vertices == 0
+        assert list(g.edges()) == []
+        assert g.max_degree() == 0
+
+
+class TestQueries:
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges(4, [(2, 0), (2, 3), (2, 1)])
+        assert list(g.neighbors(2)) == [0, 1, 3]
+
+    def test_degree(self, path4):
+        assert path4.degree(0) == 1
+        assert path4.degree(1) == 2
+
+    def test_degrees_list(self, path4):
+        assert path4.degrees() == [1, 2, 2, 1]
+
+    def test_has_edge(self, path4):
+        assert path4.has_edge(0, 1)
+        assert path4.has_edge(1, 0)
+        assert not path4.has_edge(0, 2)
+        assert not path4.has_edge(1, 1)
+
+    def test_edges_each_once(self, path4):
+        assert list(path4.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_max_degree(self, triangle):
+        assert triangle.max_degree() == 2
+
+    def test_vertex_range_check(self, path4):
+        with pytest.raises(VertexError):
+            path4.degree(4)
+        with pytest.raises(VertexError):
+            path4.neighbors(-1)
+
+
+class TestDunder:
+    def test_equality(self):
+        a = Graph.from_edges(3, [(0, 1)])
+        b = Graph.from_edges(3, [(0, 1)])
+        c = Graph.from_edges(3, [(0, 2)])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_repr(self, path4):
+        assert repr(path4) == "Graph(n=4, m=3)"
+
+
+class TestProperties:
+    @given(edge_list_strategy())
+    def test_roundtrip_edges(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, sorted(edges))
+        assert set(g.edges()) == edges
+        assert g.num_edges == len(edges)
+
+    @given(edge_list_strategy())
+    def test_handshake_lemma(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, sorted(edges))
+        assert sum(g.degrees()) == 2 * g.num_edges
+
+    @given(edge_list_strategy())
+    def test_symmetry(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, sorted(edges))
+        for v in g.vertices():
+            for u in g.neighbors(v):
+                assert v in g.neighbors(u)

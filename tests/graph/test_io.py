@@ -1,0 +1,61 @@
+"""Round-trip and validation tests for edge-list persistence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path, small_er):
+        target = tmp_path / "g.txt"
+        write_edge_list(small_er, target)
+        assert read_edge_list(target) == small_er
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        g = Graph.from_edges(6, [(0, 1)])
+        target = tmp_path / "g.txt"
+        write_edge_list(g, target)
+        assert read_edge_list(target).num_vertices == 6
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph.empty(3)
+        target = tmp_path / "g.txt"
+        write_edge_list(g, target)
+        loaded = read_edge_list(target)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 0
+
+
+class TestParsing:
+    def test_comments_and_blank_lines(self, tmp_path):
+        target = tmp_path / "g.txt"
+        target.write_text("# comment\n\n3 1\n# another\n0 2\n")
+        g = read_edge_list(target)
+        assert g.has_edge(0, 2)
+
+    def test_missing_header(self, tmp_path):
+        target = tmp_path / "g.txt"
+        target.write_text("# only comments\n")
+        with pytest.raises(GraphError):
+            read_edge_list(target)
+
+    def test_bad_edge_line(self, tmp_path):
+        target = tmp_path / "g.txt"
+        target.write_text("2 1\n0 1 9\n")
+        with pytest.raises(GraphError):
+            read_edge_list(target)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        target = tmp_path / "g.txt"
+        target.write_text("3 2\n0 1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(target)
+
+    def test_vertex_overflow(self, tmp_path):
+        target = tmp_path / "g.txt"
+        target.write_text("2 1\n0 5\n")
+        with pytest.raises(GraphError):
+            read_edge_list(target)

@@ -1,0 +1,49 @@
+"""Bit-for-bit determinism: the headline property of the whole library.
+
+The deterministic algorithms must produce the identical member set, round
+count, and communication metrics on every run; the randomized baselines
+must do the same for a fixed seed.
+"""
+
+import pytest
+
+from repro.core.pipeline import solve_ruling_set
+from repro.graph import generators as gen
+
+
+def run_twice(graph, **kwargs):
+    first = solve_ruling_set(graph, **kwargs)
+    second = solve_ruling_set(graph, **kwargs)
+    return first, second
+
+
+@pytest.mark.parametrize("algorithm", ["det-ruling", "det-luby"])
+def test_deterministic_members_and_rounds(algorithm):
+    graph = gen.gnp_random_graph(130, 1, 10, seed=21)
+    a, b = run_twice(graph, algorithm=algorithm, regime="sublinear")
+    assert a.members == b.members
+    assert a.rounds == b.rounds
+    assert a.metrics == b.metrics
+
+
+@pytest.mark.parametrize("algorithm", ["rand-ruling", "rand-luby"])
+def test_randomized_reproducible_with_seed(algorithm):
+    graph = gen.gnp_random_graph(130, 1, 10, seed=22)
+    a, b = run_twice(graph, algorithm=algorithm, seed=5)
+    assert a.members == b.members
+    assert a.rounds == b.rounds
+
+
+def test_deterministic_insensitive_to_seed_argument():
+    # The deterministic path must ignore the seed parameter entirely.
+    graph = gen.gnp_random_graph(100, 1, 9, seed=23)
+    a = solve_ruling_set(graph, algorithm="det-ruling", seed=1)
+    b = solve_ruling_set(graph, algorithm="det-ruling", seed=999)
+    assert a.members == b.members
+    assert a.rounds == b.rounds
+
+
+def test_phase_attribution_stable():
+    graph = gen.gnp_random_graph(100, 1, 9, seed=24)
+    a, b = run_twice(graph, algorithm="det-ruling")
+    assert a.phase_rounds == b.phase_rounds

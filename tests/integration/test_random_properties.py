@@ -1,0 +1,78 @@
+"""Hypothesis-driven end-to-end properties on random graphs.
+
+For arbitrary small random graphs (structure chosen by hypothesis), the
+deterministic algorithms must produce verified outputs, respect the
+model budgets, and be reproducible.  These tests catch interactions the
+curated workloads miss (disconnected graphs, isolated vertices, odd
+degree mixes).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import solve_ruling_set
+from repro.core.verify import check_ruling_set
+from repro.graph.graph import Graph
+
+
+@st.composite
+def random_graphs(draw, max_n=36):
+    n = draw(st.integers(1, max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible) if possible else st.nothing(),
+            unique=True,
+            max_size=min(len(possible), 3 * n),
+        )
+        if possible
+        else st.just([])
+    )
+    return Graph.from_edges(n, edges)
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graphs())
+def test_det_ruling_verified_on_arbitrary_graphs(graph):
+    result = solve_ruling_set(
+        graph, algorithm="det-ruling", regime="near-linear"
+    )
+    check = check_ruling_set(graph, result.members)
+    assert check.independent_at == 2
+    assert check.measured_beta <= 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_graphs())
+def test_det_luby_is_maximal_on_arbitrary_graphs(graph):
+    result = solve_ruling_set(
+        graph, algorithm="det-luby", regime="near-linear"
+    )
+    members = set(result.members)
+    # Maximality: every non-member has a member neighbour.
+    for v in graph.vertices():
+        if v not in members:
+            assert any(u in members for u in graph.neighbors(v))
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_graphs(max_n=24), st.integers(2, 4))
+def test_beta_parameter_never_violated(graph, beta):
+    result = solve_ruling_set(
+        graph, algorithm="det-ruling", beta=beta, regime="near-linear"
+    )
+    assert check_ruling_set(graph, result.members).measured_beta <= beta
+
+
+@settings(max_examples=10, deadline=None)
+@given(random_graphs(max_n=24))
+def test_budget_never_exceeded(graph):
+    result = solve_ruling_set(
+        graph, algorithm="det-ruling", regime="near-linear"
+    )
+    assert (
+        result.metrics["peak_memory_words"] <= result.metrics["memory_words"]
+    )
+    assert (
+        result.metrics["max_words_received"]
+        <= result.metrics["memory_words"]
+    )

@@ -1,0 +1,52 @@
+"""Tests for the deterministic bitwise-ID ruling set baseline."""
+
+import pytest
+
+from repro.core.verify import check_ruling_set, verify_ruling_set
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.local.algorithms.agl_ruling import run_bitwise_ruling_set
+from repro.util.mathx import ilog2_ceil
+
+
+class TestBitwiseRulingSet:
+    @pytest.mark.parametrize("make", [
+        lambda: gen.path_graph(33),
+        lambda: gen.cycle_graph(17),
+        lambda: gen.complete_graph(9),
+        lambda: gen.star_graph(20),
+        lambda: gen.gnp_random_graph(80, 1, 8, seed=5),
+        lambda: gen.random_tree(64, seed=2),
+        lambda: gen.grid_graph(6, 7),
+    ])
+    def test_is_log_ruling_set(self, make):
+        g = make()
+        members, rounds = run_bitwise_ruling_set(g)
+        beta = max(1, ilog2_ceil(max(2, g.num_vertices)))
+        verify_ruling_set(g, members, alpha=2, beta=beta)
+        assert rounds == beta
+
+    def test_deterministic(self, small_er):
+        a, _ = run_bitwise_ruling_set(small_er)
+        b, _ = run_bitwise_ruling_set(small_er)
+        assert a == b
+
+    def test_edgeless_keeps_everyone(self):
+        g = Graph.empty(6)
+        members, _ = run_bitwise_ruling_set(g)
+        assert members == list(range(6))
+
+    def test_empty_graph(self):
+        members, rounds = run_bitwise_ruling_set(Graph.empty(0))
+        assert members == [] and rounds == 0
+
+    def test_clique_leaves_single_member_or_few(self):
+        # On a clique, survivors form an independent set => exactly one.
+        members, _ = run_bitwise_ruling_set(gen.complete_graph(16))
+        assert len(members) == 1
+
+    def test_domination_tighter_than_bound_on_path(self):
+        g = gen.path_graph(64)
+        members, _ = run_bitwise_ruling_set(g)
+        measured = check_ruling_set(g, members).measured_beta
+        assert measured <= ilog2_ceil(64)

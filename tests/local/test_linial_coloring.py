@@ -1,0 +1,108 @@
+"""Tests for Linial colour reduction and the coloring-based MIS."""
+
+import pytest
+
+from repro.core.verify import verify_ruling_set
+from repro.errors import AlgorithmError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.local.algorithms.linial_coloring import (
+    mis_from_coloring,
+    reduction_schedule,
+    run_coloring_mis,
+    run_linial_coloring,
+)
+from repro.local.network import LocalNetwork
+
+
+def assert_proper(graph, colors):
+    for u, v in graph.edges():
+        assert colors[u] != colors[v], f"edge ({u},{v}) monochromatic"
+
+
+GRAPHS = [
+    ("path", lambda: gen.path_graph(200)),
+    ("cycle", lambda: gen.cycle_graph(101)),
+    ("tree", lambda: gen.random_tree(150, seed=2)),
+    ("grid", lambda: gen.grid_graph(10, 12)),
+    ("er", lambda: gen.gnp_random_graph(120, 1, 15, seed=3)),
+    ("regular", lambda: gen.regular_graph(90, 6)),
+]
+
+
+class TestSchedule:
+    def test_shrinks_palette(self):
+        schedule = reduction_schedule(10_000, 4)
+        palettes = [k for _, _, k in schedule]
+        assert palettes == sorted(palettes, reverse=True)
+        assert palettes[-1] < 10_000
+
+    def test_log_star_length(self):
+        # The schedule length is tiny even for huge n (log* behaviour).
+        assert len(reduction_schedule(10**9, 4)) <= 6
+
+    def test_empty_when_trivial(self):
+        assert reduction_schedule(1, 1) == []
+
+
+class TestLinialColoring:
+    @pytest.mark.parametrize("name,make", GRAPHS)
+    def test_proper_coloring(self, name, make):
+        graph = make()
+        colors, rounds, palette = run_linial_coloring(graph)
+        assert_proper(graph, colors)
+        assert all(0 <= c < palette for c in colors)
+
+    @pytest.mark.parametrize("name,make", GRAPHS)
+    def test_palette_quadratic_in_degree(self, name, make):
+        graph = make()
+        _, _, palette = run_linial_coloring(graph)
+        delta = max(1, graph.max_degree())
+        # O(Δ² log² Δ)-ish bound with a generous constant.
+        assert palette <= 64 * delta * delta * max(
+            1, delta.bit_length() ** 2
+        )
+
+    def test_round_count_small(self):
+        graph = gen.path_graph(500)
+        _, rounds, _ = run_linial_coloring(graph)
+        assert rounds <= 6  # log* 500 plus slack
+
+    def test_congest_compliant(self):
+        # One colour word per round fits CONGEST.
+        from repro.local.algorithms.linial_coloring import LinialColoring
+
+        graph = gen.gnp_random_graph(80, 1, 10, seed=1)
+        algorithm = LinialColoring(graph.num_vertices, graph.max_degree())
+        network = LocalNetwork(graph, bandwidth_words=1)
+        result = network.run(
+            algorithm, max_rounds=len(algorithm.schedule)
+        )
+        assert result.max_message_words <= 1
+
+    def test_empty_graph(self):
+        colors, rounds, palette = run_linial_coloring(Graph.empty(0))
+        assert colors == [] and rounds == 0
+
+
+class TestColoringMIS:
+    @pytest.mark.parametrize("name,make", GRAPHS)
+    def test_mis_valid(self, name, make):
+        graph = make()
+        members, rounds, palette = run_coloring_mis(graph)
+        verify_ruling_set(graph, members, alpha=2, beta=1)
+        assert rounds <= 6 + palette
+
+    def test_mis_from_trivial_coloring(self):
+        graph = gen.path_graph(6)
+        members, rounds = mis_from_coloring(graph, list(range(6)))
+        verify_ruling_set(graph, members, alpha=2, beta=1)
+        assert members[0] == 0  # id order = colour order here
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(AlgorithmError):
+            mis_from_coloring(gen.path_graph(4), [0, 1])
+
+    def test_deterministic(self):
+        graph = gen.gnp_random_graph(90, 1, 9, seed=5)
+        assert run_coloring_mis(graph) == run_coloring_mis(graph)

@@ -1,0 +1,55 @@
+"""Tests for the LOCAL-model Luby MIS baseline."""
+
+import pytest
+
+from repro.core.verify import verify_ruling_set
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+from repro.local.algorithms.luby_mis import run_luby_mis
+
+
+def assert_is_mis(graph, members):
+    verify_ruling_set(graph, members, alpha=2, beta=1)
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_er_graph(self, small_er, seed):
+        members, rounds = run_luby_mis(small_er, seed=seed)
+        assert_is_mis(small_er, members)
+        assert rounds >= 1
+
+    def test_deterministic_given_seed(self, small_er):
+        a, _ = run_luby_mis(small_er, seed=5)
+        b, _ = run_luby_mis(small_er, seed=5)
+        assert a == b
+
+    def test_seed_changes_output(self, medium_er):
+        a, _ = run_luby_mis(medium_er, seed=1)
+        b, _ = run_luby_mis(medium_er, seed=2)
+        assert a != b  # overwhelmingly likely on 150 vertices
+
+    def test_clique(self):
+        members, _ = run_luby_mis(gen.complete_graph(12), seed=0)
+        assert len(members) == 1
+
+    def test_star(self):
+        g = gen.star_graph(30)
+        members, _ = run_luby_mis(g, seed=0)
+        assert_is_mis(g, members)
+
+    def test_edgeless(self):
+        g = Graph.empty(5)
+        members, _ = run_luby_mis(g, seed=0)
+        assert members == [0, 1, 2, 3, 4]
+
+    def test_path(self):
+        g = gen.path_graph(20)
+        members, _ = run_luby_mis(g, seed=3)
+        assert_is_mis(g, members)
+
+    def test_round_count_logarithmic_rough(self):
+        # Not a proof — a sanity band: rounds ≈ 2 per phase, phases ≈ log n.
+        g = gen.gnp_random_graph(200, 1, 15, seed=8)
+        _, rounds = run_luby_mis(g, seed=0)
+        assert rounds <= 40

@@ -1,0 +1,84 @@
+"""Tests for the LOCAL-model round simulator."""
+
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graph import generators as gen
+from repro.local.network import (
+    LocalNetwork,
+    VertexAlgorithm,
+    require_completed,
+)
+
+
+class FloodMin(VertexAlgorithm):
+    """Every vertex learns the minimum id in its component (flooding)."""
+
+    def init(self, v, degree):
+        return {"best": v, "changed": True}
+
+    def message(self, v, state, round_no):
+        return state["best"] if state["changed"] else None
+
+    def update(self, v, state, inbox, round_no):
+        incoming = [payload for _, payload in inbox]
+        best = min([state["best"]] + incoming)
+        state["changed"] = best < state["best"]
+        state["best"] = best
+        return state
+
+    def halted(self, v, state):
+        return False  # runs for the fixed round budget
+
+
+class HaltImmediately(VertexAlgorithm):
+    def init(self, v, degree):
+        return "done"
+
+    def message(self, v, state, round_no):
+        return None
+
+    def update(self, v, state, inbox, round_no):
+        return state
+
+    def halted(self, v, state):
+        return True
+
+
+class TestNetwork:
+    def test_flooding_converges_to_min(self):
+        g = gen.cycle_graph(10)
+        result = LocalNetwork(g).run(FloodMin(), max_rounds=10)
+        assert all(state["best"] == 0 for state in result.states)
+
+    def test_flood_needs_diameter_rounds(self):
+        g = gen.path_graph(8)
+        result = LocalNetwork(g).run(FloodMin(), max_rounds=3)
+        # Vertex 7 is 7 hops from 0: after 3 rounds it cannot know 0.
+        assert result.states[7]["best"] != 0
+
+    def test_halts_immediately(self):
+        g = gen.path_graph(5)
+        result = LocalNetwork(g).run(HaltImmediately(), max_rounds=100)
+        assert result.completed
+        assert result.rounds == 0
+
+    def test_round_budget_respected(self):
+        g = gen.path_graph(4)
+        result = LocalNetwork(g).run(FloodMin(), max_rounds=5)
+        assert result.rounds == 5
+        assert not result.completed
+
+    def test_require_completed(self):
+        g = gen.path_graph(4)
+        result = LocalNetwork(g).run(FloodMin(), max_rounds=1)
+        with pytest.raises(AlgorithmError):
+            require_completed(result, "flooding")
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        result = LocalNetwork(Graph.empty(0)).run(FloodMin(), max_rounds=3)
+        assert result.completed

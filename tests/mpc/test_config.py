@@ -1,0 +1,73 @@
+"""Tests for MPC regime configuration."""
+
+import pytest
+
+from repro.errors import MPCConfigError
+from repro.mpc.config import MPCConfig
+
+
+class TestValidation:
+    def test_rejects_zero_machines(self):
+        with pytest.raises(MPCConfigError):
+            MPCConfig(num_machines=0, memory_words=100)
+
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(MPCConfigError):
+            MPCConfig(num_machines=2, memory_words=2)
+
+    def test_total_memory(self):
+        cfg = MPCConfig(num_machines=4, memory_words=100)
+        assert cfg.total_memory == 400
+
+    def test_input_size_validation(self):
+        cfg = MPCConfig(num_machines=2, memory_words=100)
+        cfg.validate_input_size(200)
+        with pytest.raises(MPCConfigError):
+            cfg.validate_input_size(201)
+
+    def test_input_words(self):
+        assert MPCConfig.input_words(10, 20) == 50
+
+
+class TestFactories:
+    def test_sublinear_fits_input(self):
+        cfg = MPCConfig.sublinear(1000, 5000, 2, 3)
+        assert cfg.total_memory >= MPCConfig.input_words(1000, 5000)
+
+    def test_sublinear_memory_grows_with_alpha(self):
+        lo = MPCConfig.sublinear(4000, 8000, 1, 2)
+        hi = MPCConfig.sublinear(4000, 8000, 3, 4)
+        assert hi.memory_words >= lo.memory_words
+
+    def test_sublinear_rejects_bad_alpha(self):
+        with pytest.raises(MPCConfigError):
+            MPCConfig.sublinear(100, 100, 3, 2)
+        with pytest.raises(MPCConfigError):
+            MPCConfig.sublinear(100, 100, 0, 1)
+
+    def test_max_degree_floor(self):
+        cfg = MPCConfig.sublinear(400, 399, max_degree=399)  # star
+        assert cfg.memory_words >= 16 * 400
+
+    def test_k_at_most_quarter_s(self):
+        # Dense input: the side condition must lift S rather than explode k.
+        cfg = MPCConfig.sublinear(100, 4950, 1, 2)
+        assert cfg.num_machines <= cfg.memory_words // 4
+
+    def test_near_linear(self):
+        cfg = MPCConfig.near_linear(500, 2000)
+        assert cfg.memory_words >= 500
+        assert cfg.total_memory >= MPCConfig.input_words(500, 2000)
+
+    def test_single_machine(self):
+        cfg = MPCConfig.single_machine(100, 300)
+        assert cfg.num_machines == 1
+        assert cfg.total_memory >= MPCConfig.input_words(100, 300)
+
+    def test_tiny_graph_floor(self):
+        cfg = MPCConfig.sublinear(1, 0)
+        assert cfg.memory_words >= 64
+
+    def test_labels(self):
+        assert "sublinear" in MPCConfig.sublinear(100, 100).label
+        assert MPCConfig.near_linear(100, 100).label == "near-linear"

@@ -1,0 +1,118 @@
+"""The LOCAL→MPC bridge vs direct LOCAL execution."""
+
+import pytest
+
+from repro.core.verify import verify_ruling_set
+from repro.errors import AlgorithmError
+from repro.graph import generators as gen
+from repro.local.algorithms.linial_coloring import (
+    LinialColoring,
+    run_linial_coloring,
+)
+from repro.local.algorithms.luby_mis import IN_MIS, LubyMIS, run_luby_mis
+from repro.local.network import LocalNetwork
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.local_bridge import (
+    LocalBridge,
+    decode_payload,
+    encode_payload,
+)
+from repro.mpc.simulator import Simulator
+
+
+def load(graph, s_extra=4):
+    cfg = MPCConfig.near_linear(
+        graph.num_vertices, graph.num_edges,
+        slack=s_extra, max_degree=graph.max_degree(),
+    )
+    sim = Simulator(cfg)
+    return DistributedGraph.load(sim, graph), sim
+
+
+class TestCodec:
+    def test_int_roundtrip(self):
+        assert decode_payload(encode_payload(7, ()), ()) == 7
+
+    def test_tuple_roundtrip(self):
+        assert decode_payload(encode_payload((1, 2, 3), ()), ()) == (1, 2, 3)
+
+    def test_tagged_roundtrip(self):
+        tags = ("prio", "in")
+        encoded = encode_payload(("prio", (9, 2)), tags)
+        assert decode_payload(encoded, tags) == ("prio", (9, 2))
+        encoded = encode_payload(("in", 5), tags)
+        assert decode_payload(encoded, tags) == ("in", (5,))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(AlgorithmError):
+            encode_payload(("nope", 1), ("prio",))
+        with pytest.raises(AlgorithmError):
+            decode_payload((9, 1), ("prio",))
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(AlgorithmError):
+            encode_payload(object(), ())
+
+
+class TestBridgedLuby:
+    def test_matches_direct_local_run(self):
+        graph = gen.gnp_random_graph(70, 1, 8, seed=6)
+        direct_members, direct_rounds = run_luby_mis(graph, seed=3)
+
+        dg, sim = load(graph)
+        bridge = LocalBridge(
+            dg, LubyMIS(seed=3), tags=("prio", "in", "out")
+        )
+        rounds, done = bridge.run()
+        assert done
+        states = bridge.collect_states()
+        members = sorted(
+            v for v, state in states.items() if state.status == IN_MIS
+        )
+        assert members == direct_members
+        assert rounds == direct_rounds
+        # Two MPC rounds per LOCAL round (exchange + halting consensus),
+        # plus the final consensus that observed completion.
+        assert sim.metrics.rounds == 2 * rounds + 1
+
+    def test_bridged_output_verifies(self):
+        graph = gen.random_tree(90, seed=2)
+        dg, _ = load(graph)
+        bridge = LocalBridge(
+            dg, LubyMIS(seed=1), tags=("prio", "in", "out")
+        )
+        bridge.run()
+        states = bridge.collect_states()
+        members = [
+            v for v, state in states.items() if state.status == IN_MIS
+        ]
+        verify_ruling_set(graph, members, alpha=2, beta=1)
+
+
+class TestBridgedColoring:
+    def test_matches_direct_coloring(self):
+        graph = gen.grid_graph(8, 8)
+        direct_colors, direct_rounds, _ = run_linial_coloring(graph)
+
+        dg, _ = load(graph)
+        algorithm = LinialColoring(
+            graph.num_vertices, graph.max_degree()
+        )
+        bridge = LocalBridge(dg, algorithm)
+        bridge.run(max_rounds=len(algorithm.schedule))
+        states = bridge.collect_states()
+        colors = [states[v].color for v in graph.vertices()]
+        assert colors == direct_colors
+
+
+class TestAccounting:
+    def test_state_cost_charged(self):
+        graph = gen.cycle_graph(12)
+        dg, sim = load(graph)
+        bridge = LocalBridge(
+            dg, LubyMIS(seed=0), tags=("prio", "in", "out")
+        )
+        bridge.run()
+        # Peak memory must include the declared per-vertex state charge.
+        assert sim.metrics.peak_memory_words >= bridge.state_words

@@ -1,0 +1,64 @@
+"""Tests for machine state and word accounting."""
+
+import pytest
+
+from repro.mpc.machine import Machine, words_of
+
+
+class TestWordsOf:
+    def test_scalars(self):
+        assert words_of(5) == 1
+        assert words_of(True) == 1
+        assert words_of(2.5) == 1
+        assert words_of(None) == 0
+
+    def test_big_int_still_one_word(self):
+        # Words model O(log n)-bit quantities; counters are 1 word.
+        assert words_of(10**30) == 1
+
+    def test_containers(self):
+        assert words_of((1, 2, 3)) == 3
+        assert words_of([1, [2, 3]]) == 3
+        assert words_of({1, 2}) == 2
+        assert words_of(frozenset({1})) == 1
+
+    def test_dict_counts_keys_and_values(self):
+        assert words_of({1: (2, 3)}) == 3
+
+    def test_nested(self):
+        state = {"adj": {0: (1, 2), 1: (0,)}, "count": 7}
+        # "adj"(1) + [0 + (1,2)] + [1 + (0,)] + "count"(1) + 7(1)
+        assert words_of(state) == 1 + 3 + 2 + 1 + 1
+
+    def test_string_cost(self):
+        assert words_of("x") == 1
+        assert words_of("a" * 16) == 2
+
+    def test_rejects_unknown_types(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            words_of(Opaque())
+
+
+class TestMachine:
+    def test_initial_state(self):
+        m = Machine(3)
+        assert m.mid == 3
+        assert m.memory_words() == 0
+
+    def test_memory_counts_store_and_inbox(self):
+        m = Machine(0)
+        m.store["x"] = (1, 2, 3)
+        m.inbox = [(4, 5)]
+        assert m.memory_words() == 1 + 3 + 2
+
+    def test_clear_inbox(self):
+        m = Machine(0)
+        m.inbox = [(1,)]
+        m.clear_inbox()
+        assert m.inbox == []
+
+    def test_repr(self):
+        assert "mid=2" in repr(Machine(2))

@@ -1,0 +1,104 @@
+"""Exactness tests for cyclic-interval arithmetic (vs brute force)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import (
+    CyclicInterval,
+    cyclic_overlap,
+    intersect_segments,
+    interval_to_segments,
+    segments_length,
+    segments_overlap_range,
+)
+
+
+def brute_members(start, length, p):
+    return {(start + i) % p for i in range(length)}
+
+
+class TestCyclicInterval:
+    def test_contains_no_wrap(self):
+        ival = CyclicInterval(2, 3, 10)
+        assert all(ival.contains(x) for x in (2, 3, 4))
+        assert not ival.contains(5)
+
+    def test_contains_wrap(self):
+        ival = CyclicInterval(8, 4, 10)
+        assert all(ival.contains(x) for x in (8, 9, 0, 1))
+        assert not ival.contains(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicInterval(10, 1, 10)
+        with pytest.raises(ValueError):
+            CyclicInterval(0, 11, 10)
+        with pytest.raises(ValueError):
+            CyclicInterval(0, 1, 0)
+
+    @given(st.integers(2, 60), st.data())
+    def test_contains_matches_brute(self, p, data):
+        start = data.draw(st.integers(0, p - 1))
+        length = data.draw(st.integers(0, p))
+        ival = CyclicInterval(start, length, p)
+        members = brute_members(start, length, p)
+        for x in range(p):
+            assert ival.contains(x) == (x in members)
+
+
+class TestSegments:
+    def test_empty(self):
+        assert interval_to_segments(3, 0, 10) == []
+
+    def test_full_circle(self):
+        assert interval_to_segments(3, 10, 10) == [(0, 10)]
+
+    @given(st.integers(2, 60), st.data())
+    def test_segments_cover_exactly(self, p, data):
+        start = data.draw(st.integers(0, p - 1))
+        length = data.draw(st.integers(0, p))
+        segments = interval_to_segments(start, length, p)
+        covered = set()
+        for lo, hi in segments:
+            assert 0 <= lo < hi <= p
+            covered.update(range(lo, hi))
+        assert covered == brute_members(start, length, p)
+        assert segments_length(segments) == length
+
+
+class TestIntersection:
+    @given(st.integers(2, 40), st.data())
+    def test_overlap_matches_brute(self, p, data):
+        s1 = data.draw(st.integers(0, p - 1))
+        l1 = data.draw(st.integers(0, p))
+        s2 = data.draw(st.integers(0, p - 1))
+        l2 = data.draw(st.integers(0, p))
+        a = CyclicInterval(s1, l1, p)
+        b = CyclicInterval(s2, l2, p)
+        expected = len(brute_members(s1, l1, p) & brute_members(s2, l2, p))
+        assert cyclic_overlap(a, b) == expected
+
+    def test_modulus_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_overlap(CyclicInterval(0, 1, 5), CyclicInterval(0, 1, 7))
+
+    def test_intersect_segments_sorted_disjoint(self):
+        out = intersect_segments([(0, 4), (6, 9)], [(2, 8)])
+        assert out == [(2, 4), (6, 8)]
+
+
+class TestRangeOverlap:
+    @given(st.integers(2, 40), st.data())
+    def test_matches_brute(self, p, data):
+        start = data.draw(st.integers(0, p - 1))
+        length = data.draw(st.integers(0, p))
+        lo = data.draw(st.integers(0, p))
+        hi = data.draw(st.integers(lo, p))
+        segments = interval_to_segments(start, length, p)
+        expected = len(
+            brute_members(start, length, p) & set(range(lo, hi))
+        )
+        assert segments_overlap_range(segments, lo, hi) == expected
+
+    def test_empty_range(self):
+        assert segments_overlap_range([(0, 5)], 3, 3) == 0
