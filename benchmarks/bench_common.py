@@ -14,11 +14,26 @@ algorithms, and are reported only as a convenience.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable
+from typing import Dict, Iterable
 
 from repro.analysis.records import RunRecord
+from repro.mpc.metrics import RunMetrics
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def timing_fields(metrics: RunMetrics) -> Dict[str, float]:
+    """Flatten a run's wall-clock into record fields.
+
+    Returns ``wall_time_s`` plus one ``time_<phase>_s`` per phase, all
+    rounded to 0.1 ms.  Timing measures the *simulator* — it rides along
+    so hot-path work (estimator caching, execution backends) shows up in
+    the record stream, but rounds stay the quantity of record.
+    """
+    fields: Dict[str, float] = {"wall_time_s": round(metrics.wall_time_s, 4)}
+    for phase, seconds in sorted(metrics.time_per_phase.items()):
+        fields[f"time_{phase}_s"] = round(seconds, 4)
+    return fields
 
 
 def emit(experiment: str, text: str) -> None:

@@ -65,6 +65,13 @@ def test_e10_chunk_ablation(benchmark):
                     ),
                     "luby_phases": counters["phases"],
                     "max_words_received": sim.metrics.max_words_received,
+                    "seed_search_time_s": round(
+                        sim.metrics.time_per_phase.get(
+                            "luby-seed-search", 0.0
+                        ),
+                        4,
+                    ),
+                    "wall_time_s": round(sim.metrics.wall_time_s, 4),
                 },
             )
         )
@@ -75,7 +82,7 @@ def test_e10_chunk_ablation(benchmark):
             records,
             columns=[
                 "workload", "chunk_bits", "rounds", "seed_search_rounds",
-                "luby_phases", "max_words_received",
+                "luby_phases", "max_words_received", "seed_search_time_s",
             ],
             title=f"E10: offset-fixing chunk width ablation "
             f"(ER n={graph.num_vertices}, m={graph.num_edges})",

@@ -1,0 +1,228 @@
+"""CI benchmark-regression gate.
+
+Runs a small fixed set of cells — the E1 smallest row and an E10-style
+chunk ablation at n ≤ 512 — and compares them against the checked-in
+baseline ``benchmarks/results/ci_baseline.json``:
+
+* **model quantities** (rounds, words, sizes) must match the baseline
+  *exactly* — the algorithms are deterministic, so any drift is a real
+  behaviour change that needs a deliberate baseline update;
+* **wall-clock** must stay within a relative tolerance (default ±20%)
+  of the baseline — a simulator performance regression fails the job.
+  Wall-clock is measured as the best of ``--repeats`` runs to damp
+  scheduler noise; ``--no-time`` skips the comparison entirely for
+  machines unlike the one that wrote the baseline.
+
+Usage::
+
+    python -m benchmarks.ci_regression --check            # CI gate
+    python -m benchmarks.ci_regression --write-baseline   # refresh
+
+Updating the baseline is a reviewed action: rerun with
+``--write-baseline`` and commit the new JSON alongside the change that
+legitimately moved the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core.det_luby import (
+    conditional_expectation_chooser,
+    det_luby_mis,
+)
+from repro.core.pipeline import solve_ruling_set
+from repro.core.verify import verify_ruling_set
+from repro.graph import generators as gen
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.simulator import Simulator
+
+BASELINE_PATH = Path(__file__).resolve().parent / "results" / "ci_baseline.json"
+
+Cell = Tuple[Dict[str, int], float]  # (exact model quantities, wall seconds)
+
+
+def run_e1_small(algorithm: str) -> Cell:
+    """E1's smallest row: one verified solve on ER n=256."""
+    graph = gen.gnp_random_graph(256, 12, 256, seed=256)
+    result = solve_ruling_set(
+        graph, algorithm=algorithm, beta=2, regime="sublinear"
+    )
+    exact = {
+        "rounds": result.rounds,
+        "total_words": result.metrics["total_words"],
+        "total_messages": result.metrics["total_messages"],
+        "size": result.size,
+    }
+    return exact, result.wall_time_s
+
+
+def run_e10_chunk(chunk_bits: int) -> Cell:
+    """E10's chunk ablation at n=256: det-luby with a fixed chunk width."""
+    graph = gen.gnp_random_graph(256, 12, 256, seed=10)
+    cfg = MPCConfig.sublinear(
+        graph.num_vertices, graph.num_edges, max_degree=graph.max_degree()
+    )
+    sim = Simulator(cfg)
+    dg = DistributedGraph.load(sim, graph)
+    det_luby_mis(
+        dg,
+        in_set_key="mis",
+        chooser=conditional_expectation_chooser(chunk_bits=chunk_bits),
+    )
+    members = dg.collect_marked("mis")
+    verify_ruling_set(graph, members, alpha=2, beta=1)
+    exact = {
+        "rounds": sim.metrics.rounds,
+        "total_words": sim.metrics.total_words,
+        "seed_search_rounds": sim.metrics.phase_rounds().get(
+            "luby-seed-search", 0
+        ),
+        "size": len(members),
+    }
+    return exact, sim.metrics.wall_time_s
+
+
+CELLS = {
+    "e1_small_det_ruling": lambda: run_e1_small("det-ruling"),
+    "e1_small_det_luby": lambda: run_e1_small("det-luby"),
+    "e10_chunk1_n256": lambda: run_e10_chunk(1),
+    "e10_chunk4_n256": lambda: run_e10_chunk(4),
+}
+
+
+def measure(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Run every cell; exact fields must agree across repeats."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, runner in CELLS.items():
+        best_time = None
+        exact_reference = None
+        for _ in range(max(1, repeats)):
+            exact, seconds = runner()
+            if exact_reference is None:
+                exact_reference = exact
+            elif exact != exact_reference:
+                raise AssertionError(
+                    f"cell {name} is not deterministic across repeats: "
+                    f"{exact} != {exact_reference}"
+                )
+            best_time = seconds if best_time is None else min(best_time, seconds)
+        row: Dict[str, float] = dict(exact_reference)
+        row["wall_time_s"] = round(best_time, 4)
+        results[name] = row
+        print(f"  measured {name}: {row}")
+    return results
+
+
+def check(
+    measured: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+    time_tolerance: float,
+    compare_time: bool,
+) -> List[str]:
+    """Return a list of human-readable regression descriptions."""
+    failures: List[str] = []
+    for name, base_row in baseline.items():
+        if name not in measured:
+            failures.append(f"{name}: cell missing from this run")
+            continue
+        row = measured[name]
+        for key, base_value in base_row.items():
+            if key == "wall_time_s":
+                continue
+            if row.get(key) != base_value:
+                failures.append(
+                    f"{name}.{key}: measured {row.get(key)}, "
+                    f"baseline {base_value} (exact match required)"
+                )
+        if compare_time and base_row.get("wall_time_s"):
+            base_time = float(base_row["wall_time_s"])
+            this_time = float(row["wall_time_s"])
+            drift = (this_time - base_time) / base_time
+            if abs(drift) > time_tolerance:
+                failures.append(
+                    f"{name}.wall_time_s: measured {this_time:.4f}s vs "
+                    f"baseline {base_time:.4f}s ({drift:+.0%}, tolerance "
+                    f"±{time_tolerance:.0%})"
+                )
+    for name in measured:
+        if name not in baseline:
+            failures.append(
+                f"{name}: new cell not present in baseline "
+                "(rerun --write-baseline)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark regression gate for CI."
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH,
+        help="baseline JSON path",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="measure and overwrite the baseline instead of checking",
+    )
+    parser.add_argument(
+        "--time-tolerance", type=float, default=0.20,
+        help="relative wall-clock tolerance (default 0.20 = ±20%%)",
+    )
+    parser.add_argument(
+        "--no-time", action="store_true",
+        help="skip the wall-clock comparison (rounds/words stay exact)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per cell; best time is kept (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"running {len(CELLS)} regression cells ...")
+    measured = measure(args.repeats)
+
+    if args.write_baseline:
+        payload = {
+            "note": (
+                "CI benchmark baseline: exact model quantities + wall "
+                "clock. Refresh with: python -m benchmarks.ci_regression "
+                "--write-baseline"
+            ),
+            "repeats": args.repeats,
+            "cells": measured,
+        }
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; run --write-baseline")
+        return 1
+    baseline = json.loads(args.baseline.read_text())["cells"]
+    failures = check(
+        measured,
+        baseline,
+        time_tolerance=args.time_tolerance,
+        compare_time=not args.no_time,
+    )
+    if failures:
+        print("\nBENCHMARK REGRESSION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nall cells match the baseline "
+          f"(exact model quantities; wall clock within "
+          f"±{args.time_tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

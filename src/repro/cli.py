@@ -103,10 +103,18 @@ def cmd_solve(args) -> int:
         alpha=args.alpha,
         regime=args.regime,
         seed=args.seed,
+        backend=args.backend,
+        backend_workers=args.workers,
     )
     if args.json:
         payload = result.summary_row()
         payload["members"] = result.members
+        payload.update(
+            {
+                f"time_{phase}_s": seconds
+                for phase, seconds in result.time_per_phase.items()
+            }
+        )
         print(json.dumps(payload, sort_keys=True))
         return 0
     print(f"graph:      n={graph.num_vertices} m={graph.num_edges}")
@@ -116,6 +124,10 @@ def cmd_solve(args) -> int:
     print(f"rounds:     {result.rounds}")
     for key in sorted(result.metrics):
         print(f"  {key} = {result.metrics[key]}")
+    if result.wall_time_s:
+        print(f"wall clock: {result.wall_time_s:.3f}s (simulator, not cluster)")
+        for phase in sorted(result.time_per_phase):
+            print(f"  time[{phase}] = {result.time_per_phase[phase]:.3f}s")
     return 0
 
 
@@ -211,6 +223,15 @@ def make_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--regime", default="sublinear",
         choices=("sublinear", "near-linear", "single"),
+    )
+    p_solve.add_argument(
+        "--backend", default=None, choices=("serial", "process"),
+        help="superstep execution backend (results are bit-identical; "
+        "'process' fans machine callbacks across worker processes)",
+    )
+    p_solve.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for --backend process (0 = one per CPU)",
     )
     p_solve.add_argument("--json", action="store_true")
     p_solve.set_defaults(func=cmd_solve)

@@ -67,6 +67,8 @@ def solve_ruling_set(
     config: Optional[MPCConfig] = None,
     seed: int = 0,
     verify: bool = True,
+    backend: Optional[str] = None,
+    backend_workers: int = 0,
 ) -> RulingSetResult:
     """Compute and verify a ruling set of ``graph``.
 
@@ -92,6 +94,11 @@ def solve_ruling_set(
     verify:
         Check the output against the sequential oracle (recommended; all
         benchmarks keep it on).
+    backend / backend_workers:
+        Superstep execution backend override (``"serial"`` or
+        ``"process"``; see :mod:`repro.mpc.backends`).  Execution
+        strategy only: every backend produces bit-identical members,
+        rounds, and communication metrics.
 
     Returns a :class:`RulingSetResult` whose ``rounds`` / ``metrics``
     reflect the enforced MPC execution (0 rounds for sequential/LOCAL
@@ -139,7 +146,8 @@ def solve_ruling_set(
         )
     elif algorithm in MPC_ALGORITHMS:
         result = _solve_mpc(
-            graph, algorithm, beta, alpha, regime, alpha_mem, config, seed
+            graph, algorithm, beta, alpha, regime, alpha_mem, config, seed,
+            backend=backend, backend_workers=backend_workers,
         )
     else:
         raise AlgorithmError(f"unknown algorithm {algorithm!r}")
@@ -160,6 +168,8 @@ def _solve_mpc(
     alpha_mem: Tuple[int, int],
     config: Optional[MPCConfig],
     seed: int,
+    backend: Optional[str] = None,
+    backend_workers: int = 0,
 ) -> RulingSetResult:
     sizing_graph = graph
     if alpha > 2:
@@ -172,6 +182,8 @@ def _solve_mpc(
         if config is not None
         else make_config(sizing_graph, regime, alpha_mem)
     )
+    if backend is not None:
+        cfg = cfg.with_backend(backend, backend_workers)
     cfg.validate_input_size(
         MPCConfig.input_words(
             sizing_graph.num_vertices, sizing_graph.num_edges
@@ -221,6 +233,7 @@ def _solve_mpc(
             claimed_beta = beta
 
     members = dg.collect_marked("result_set")
+    sim.shutdown()
     metrics = dict(sim.metrics.summary())
     metrics.update({f"alg_{key}": value for key, value in counters.items()})
     metrics["num_machines"] = cfg.num_machines
@@ -233,4 +246,9 @@ def _solve_mpc(
         rounds=sim.metrics.rounds,
         metrics=metrics,
         phase_rounds=sim.metrics.phase_rounds(),
+        wall_time_s=round(sim.metrics.wall_time_s, 6),
+        time_per_phase={
+            phase: round(seconds, 6)
+            for phase, seconds in sim.metrics.time_per_phase.items()
+        },
     )

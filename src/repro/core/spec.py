@@ -32,9 +32,14 @@ class RulingSetResult:
         MPC rounds consumed (0 for sequential oracles).
     metrics:
         Flat metric dict from :class:`repro.mpc.RunMetrics.summary`, plus
-        algorithm-specific counters (phases, seeds scanned, ...).
+        algorithm-specific counters (phases, seeds scanned, ...).  Model
+        quantities only — identical runs compare equal on this dict.
     phase_rounds:
         Rounds attributed to each named phase.
+    wall_time_s / time_per_phase:
+        Wall-clock spent in the simulator, total and per phase — kept
+        out of ``metrics`` precisely because timing varies between
+        identical runs.  Measures the simulator, not a cluster.
     """
 
     members: List[int]
@@ -44,6 +49,8 @@ class RulingSetResult:
     rounds: int = 0
     metrics: Dict[str, int] = field(default_factory=dict)
     phase_rounds: Dict[str, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    time_per_phase: Dict[str, float] = field(default_factory=dict)
 
     @property
     def size(self) -> int:
@@ -60,4 +67,5 @@ class RulingSetResult:
             "rounds": self.rounds,
         }
         row.update(self.metrics)
+        row["wall_time_s"] = round(self.wall_time_s, 6)
         return row

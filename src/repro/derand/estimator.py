@@ -27,12 +27,25 @@ conditional expectations needs are *exact integer computations*:
 
 The estimator is also evaluated pointwise (``value``) to certify that the
 seed finally committed meets its guaranteed bound.
+
+Hot-path caching (terms are immutable once a selection starts, so all of
+this is invisible to callers):
+
+* ``expectation_x_p2`` and the vertex part of ``cond_a_x_p`` are running
+  sums maintained at term insertion — O(1) per query instead of a full
+  term scan;
+* the per-term cyclic-interval segments (and pair-term intersections)
+  for one multiplier ``a`` are derived once and reused across every
+  ``cond_ab_range`` query for that ``a`` — the offset-fixing stage asks
+  about ~``2^c · ceil(log2(p)/c)`` ranges under a single multiplier, and
+  previously re-derived every interval per range.  Adding a term
+  invalidates the cache, so caching can never change a result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.derand.family import Seed
 from repro.errors import DerandomizationError
@@ -73,6 +86,12 @@ class ThresholdEstimator:
         self.p = p
         self.vertex_terms: List[VertexTerm] = []
         self.pair_terms: List[PairTerm] = []
+        # Running sums maintained at insertion (term lists are append-only).
+        self._vertex_weighted_thresholds = 0  # Σ w·T   (cond_a_x_p vertex part)
+        self._expectation_x_p2 = 0            # Σ w·T·p + Σ w·T1·T2
+        # Per-multiplier segment cache: (a, [(weight, segments), ...]).
+        self._a_cache_key: Optional[int] = None
+        self._a_cache_terms: Optional[List[Tuple[int, List[Tuple[int, int]]]]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +102,9 @@ class ThresholdEstimator:
         self.vertex_terms.append(
             VertexTerm(x=x, threshold=threshold, weight=weight)
         )
+        self._vertex_weighted_thresholds += weight * threshold
+        self._expectation_x_p2 += weight * threshold * self.p
+        self._a_cache_key = self._a_cache_terms = None
 
     def add_pair_term(
         self, x1: int, t1: int, x2: int, t2: int, weight: int
@@ -101,6 +123,8 @@ class ThresholdEstimator:
         self.pair_terms.append(
             PairTerm(x1=x1, t1=t1, x2=x2, t2=t2, weight=weight)
         )
+        self._expectation_x_p2 += weight * t1 * t2
+        self._a_cache_key = self._a_cache_terms = None
 
     def _check_threshold(self, threshold: int) -> None:
         if not 0 <= threshold <= self.p:
@@ -138,24 +162,54 @@ class ThresholdEstimator:
 
     def expectation_x_p2(self) -> int:
         """Return the integer ``p^2 * E[Phi]`` over the full family."""
-        p = self.p
-        total = 0
-        for term in self.vertex_terms:
-            total += term.weight * term.threshold * p
-        for term in self.pair_terms:
-            total += term.weight * term.t1 * term.t2
-        return total
+        return self._expectation_x_p2
 
     def _interval(self, x: int, threshold: int, a: int):
         """Segments of ``{b : (a x + b) mod p < threshold}``."""
         start = (-a * x) % self.p
         return interval_to_segments(start, threshold, self.p)
 
+    def _prepared_terms(
+        self, a: int
+    ) -> List[Tuple[int, List[Tuple[int, int]]]]:
+        """All terms as ``(weight, b-segments)`` under multiplier ``a``.
+
+        Derived once per ``a`` and cached; every range query under the
+        same multiplier reuses the list.  The cache holds one multiplier
+        (the offset-fixing stage only ever asks about the chosen one), so
+        memory stays O(terms).
+        """
+        if self._a_cache_key != a:
+            terms: List[Tuple[int, List[Tuple[int, int]]]] = []
+            for term in self.vertex_terms:
+                terms.append(
+                    (
+                        term.weight,
+                        self._interval(term.x, term.threshold, a),
+                    )
+                )
+            for term in self.pair_terms:
+                terms.append(
+                    (
+                        term.weight,
+                        intersect_segments(
+                            self._interval(term.x1, term.t1, a),
+                            self._interval(term.x2, term.t2, a),
+                        ),
+                    )
+                )
+            self._a_cache_key = a
+            self._a_cache_terms = terms
+        return self._a_cache_terms
+
     def cond_a_x_p(self, a: int) -> int:
-        """Return the integer ``p * E[Phi | a]`` (``b`` uniform on Z_p)."""
-        total = 0
-        for term in self.vertex_terms:
-            total += term.weight * term.threshold
+        """Return the integer ``p * E[Phi | a]`` (``b`` uniform on Z_p).
+
+        The vertex part is the precomputed ``Σ w·T`` (a vertex event's
+        conditional probability given ``a`` is ``T/p`` regardless of
+        ``a``); only pair overlaps depend on the multiplier.
+        """
+        total = self._vertex_weighted_thresholds
         for term in self.pair_terms:
             overlap = segments_length(
                 intersect_segments(
@@ -177,18 +231,8 @@ class ThresholdEstimator:
                 f"range [{b_lo}, {b_hi}) must lie within [0, {self.p}]"
             )
         total = 0
-        for term in self.vertex_terms:
-            total += term.weight * segments_overlap_range(
-                self._interval(term.x, term.threshold, a), b_lo, b_hi
-            )
-        for term in self.pair_terms:
-            overlap = intersect_segments(
-                self._interval(term.x1, term.t1, a),
-                self._interval(term.x2, term.t2, a),
-            )
-            total += term.weight * segments_overlap_range(
-                overlap, b_lo, b_hi
-            )
+        for weight, segments in self._prepared_terms(a):
+            total += weight * segments_overlap_range(segments, b_lo, b_hi)
         return total
 
     # ------------------------------------------------------------------

@@ -35,7 +35,9 @@ from repro.local.network import LocalNetwork, VertexAlgorithm
 from repro.util.prime import next_prime
 
 
-def reduction_schedule(num_vertices: int, max_degree: int) -> List[Tuple[int, int, int]]:
+def reduction_schedule(
+    num_vertices: int, max_degree: int
+) -> List[Tuple[int, int, int]]:
     """Precompute the per-round ``(q, d, K)`` parameters.
 
     Pure arithmetic on the public quantities ``n`` and ``Δ`` (standard

@@ -11,16 +11,26 @@ a single-process, cycle-accurate simulator of the MPC model.
   or per-round I/O raises :class:`repro.errors.MPCViolationError` rather
   than silently continuing, so a completed run certifies model compliance.
 * :class:`RunMetrics` records rounds, words, message counts, and peak
-  memory; benchmarks report these, not wall-clock, because the paper's
-  claims are round-complexity claims.
+  memory — the paper's quantities — plus per-round / per-phase
+  wall-clock so simulator performance work is measurable.
+* :mod:`repro.mpc.backends` supplies pluggable superstep execution:
+  :class:`SerialBackend` (default, bit-identical to the historical
+  engine) and :class:`ProcessPoolBackend` (opt-in worker-process
+  fan-out with the same deterministic results).
 """
 
+from repro.mpc.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    SuperstepBackend,
+    resolve_backend,
+)
 from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
 from repro.mpc.machine import Machine, words_of
 from repro.mpc.message import Message
 from repro.mpc.metrics import RunMetrics
 from repro.mpc.simulator import Simulator
-from repro.mpc.graph_store import DistributedGraph
 
 __all__ = [
     "MPCConfig",
@@ -30,4 +40,8 @@ __all__ = [
     "RunMetrics",
     "Simulator",
     "DistributedGraph",
+    "SuperstepBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
 ]

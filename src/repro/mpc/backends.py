@@ -1,0 +1,253 @@
+"""Pluggable execution backends for the MPC superstep engine.
+
+The :class:`~repro.mpc.simulator.Simulator` delegates the *execution* of
+machine callbacks to a backend; routing, budget enforcement, and metrics
+stay in the simulator.  Two backends ship:
+
+``SerialBackend``
+    Runs every callback in machine-id order in the calling process —
+    bit-identical to the historical simulator behaviour and the default.
+
+``ProcessPoolBackend``
+    Fans machine callbacks across a pool of worker processes.  Machines
+    are partitioned into contiguous id-ordered chunks; each worker runs
+    the callback on its chunk and ships the mutated stores (and, for
+    communication steps, the outboxes) back.  Results are merged in
+    machine-id order, so message routing sees exactly the sequence the
+    serial backend produces — **determinism is preserved by
+    construction**, only wall-clock changes.
+
+    Callbacks are serialized with ``cloudpickle`` when available (which
+    handles the closures the algorithms use); with plain ``pickle`` only
+    module-level functions survive.  A callback that cannot be
+    serialized falls back to in-process serial execution for that call
+    (counted in :meth:`ProcessPoolBackend.stats`), so the backend is
+    always safe to enable.
+
+Backend contract: a callback may read and mutate *only the machine it is
+given*.  Every callback in this repository honours that (machine state is
+the sole side channel), which is what makes process isolation sound.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import MPCConfigError
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+
+try:  # cloudpickle serializes closures; optional, never required.
+    import cloudpickle as _fn_pickle
+except ImportError:  # pragma: no cover - environment without cloudpickle
+    _fn_pickle = pickle
+
+MachineFn = Callable[[Machine], object]
+
+LOCAL_STEP = "local"
+COMMUNICATE_STEP = "communicate"
+
+
+class SuperstepBackend:
+    """How one superstep's machine callbacks get executed.
+
+    Subclasses implement :meth:`run_local` and :meth:`run_communicate`;
+    both must process machines in id order (or merge results as if they
+    had), because routing determinism depends on it.
+    """
+
+    name = "abstract"
+
+    def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:
+        """Apply ``fn`` to every machine, mutating stores in place."""
+        raise NotImplementedError
+
+    def run_communicate(
+        self, machines: Sequence[Machine], fn: MachineFn
+    ) -> List[List[Message]]:
+        """Apply ``fn`` to every machine; return outboxes in id order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def stats(self) -> Dict[str, int]:
+        """Execution counters (for diagnostics; empty when trivial)."""
+        return {}
+
+
+class SerialBackend(SuperstepBackend):
+    """In-process execution in machine-id order (the historical path)."""
+
+    name = "serial"
+
+    def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:
+        for machine in machines:
+            fn(machine)
+
+    def run_communicate(
+        self, machines: Sequence[Machine], fn: MachineFn
+    ) -> List[List[Message]]:
+        outboxes: List[List[Message]] = []
+        for machine in machines:
+            sent = fn(machine)
+            outboxes.append(list(sent) if sent is not None else [])
+        return outboxes
+
+
+def _chunk_ranges(count: int, parts: int) -> List[range]:
+    """Split ``range(count)`` into ``parts`` contiguous, balanced ranges."""
+    parts = max(1, min(parts, count))
+    base, extra = divmod(count, parts)
+    ranges = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append(range(lo, hi))
+        lo = hi
+    return ranges
+
+
+def _run_chunk(fn_blob: bytes, step: str, state_blob: bytes) -> bytes:
+    """Worker entry point: run one callback over one machine chunk.
+
+    Receives the callback (cloudpickle) and the chunk's machine states
+    (plain pickle: stores are flat integer containers), returns the
+    mutated states plus — for communication steps — the outbox payloads.
+    """
+    fn = _fn_pickle.loads(fn_blob)
+    machines: List[Machine] = pickle.loads(state_blob)
+    if step == LOCAL_STEP:
+        for machine in machines:
+            fn(machine)
+        outboxes: Optional[List[List[Message]]] = None
+    else:
+        outboxes = []
+        for machine in machines:
+            sent = fn(machine)
+            outboxes.append(list(sent) if sent is not None else [])
+    states = [(m.store, m.inbox) for m in machines]
+    return pickle.dumps((states, outboxes))
+
+
+class ProcessPoolBackend(SuperstepBackend):
+    """Fan machine callbacks across worker processes, deterministically.
+
+    ``workers=0`` means one worker per CPU.  ``min_machines`` gates the
+    fan-out: chunks smaller than it are not worth the serialization
+    round-trip and run serially.  The pool is created lazily on first
+    use and torn down by :meth:`shutdown` (the simulator calls it when
+    the run ends, and it is safe to call repeatedly).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 0, min_machines: int = 2):
+        if workers < 0:
+            raise MPCConfigError(f"workers must be >= 0, got {workers}")
+        self.workers = workers or (os.cpu_count() or 1)
+        self.min_machines = max(1, min_machines)
+        self._executor = None
+        self._serial = SerialBackend()
+        self._stats = {
+            "parallel_steps": 0,
+            "serial_fallbacks": 0,
+            "unpicklable_fallbacks": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)
+
+    # -- execution ------------------------------------------------------
+    def _serialize_fn(self, fn: MachineFn) -> Optional[bytes]:
+        try:
+            return _fn_pickle.dumps(fn)
+        except Exception:
+            return None
+
+    def _dispatch(
+        self, machines: Sequence[Machine], fn: MachineFn, step: str
+    ) -> Optional[List[Optional[List[Message]]]]:
+        """Run a superstep on the pool; None means "caller must go serial"."""
+        if len(machines) < self.min_machines or self.workers < 2:
+            self._stats["serial_fallbacks"] += 1
+            return None
+        fn_blob = self._serialize_fn(fn)
+        if fn_blob is None:
+            self._stats["unpicklable_fallbacks"] += 1
+            return None
+        chunks = _chunk_ranges(len(machines), self.workers)
+        try:
+            blobs = [
+                pickle.dumps([machines[i] for i in chunk]) for chunk in chunks
+            ]
+        except Exception:
+            self._stats["unpicklable_fallbacks"] += 1
+            return None
+        futures = [
+            self._pool().submit(_run_chunk, fn_blob, step, blob)
+            for blob in blobs
+        ]
+        merged: List[Optional[List[Message]]] = [None] * len(machines)
+        # Collect in submission (= id) order: completion order is
+        # irrelevant to the result, so scheduling jitter cannot leak in.
+        for chunk, future in zip(chunks, futures):
+            states, outboxes = pickle.loads(future.result())
+            for offset, mid in enumerate(chunk):
+                store, inbox = states[offset]
+                machines[mid].store = store
+                machines[mid].inbox = inbox
+                if outboxes is not None:
+                    merged[mid] = outboxes[offset]
+        self._stats["parallel_steps"] += 1
+        return merged
+
+    def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:
+        if self._dispatch(machines, fn, LOCAL_STEP) is None:
+            self._serial.run_local(machines, fn)
+
+    def run_communicate(
+        self, machines: Sequence[Machine], fn: MachineFn
+    ) -> List[List[Message]]:
+        merged = self._dispatch(machines, fn, COMMUNICATE_STEP)
+        if merged is None:
+            return self._serial.run_communicate(machines, fn)
+        return [outbox if outbox is not None else [] for outbox in merged]
+
+
+BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def resolve_backend(
+    name: str, workers: int = 0
+) -> SuperstepBackend:
+    """Instantiate a backend by registry name.
+
+    >>> resolve_backend("serial").name
+    'serial'
+    """
+    if name not in BACKENDS:
+        raise MPCConfigError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        )
+    if name == ProcessPoolBackend.name:
+        return ProcessPoolBackend(workers=workers)
+    return SerialBackend()

@@ -57,12 +57,20 @@ class MPCConfig:
     ``slack`` is the multiplicative headroom factor that was applied to the
     information-theoretic minimum when the config was derived (kept for
     reporting); ``label`` names the regime in benchmark output.
+
+    ``backend`` selects how the simulator *executes* superstep callbacks
+    (``"serial"`` or ``"process"``; see :mod:`repro.mpc.backends`) —
+    execution strategy only, never semantics: every backend produces
+    bit-identical runs.  ``backend_workers`` sizes the process pool
+    (0 = one worker per CPU); ignored by the serial backend.
     """
 
     num_machines: int
     memory_words: int
     label: str = "explicit"
     slack: int = 1
+    backend: str = "serial"
+    backend_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -73,6 +81,16 @@ class MPCConfig:
             raise MPCConfigError(
                 f"memory_words must be at least 4, got {self.memory_words}"
             )
+        if self.backend_workers < 0:
+            raise MPCConfigError(
+                f"backend_workers must be >= 0, got {self.backend_workers}"
+            )
+
+    def with_backend(self, backend: str, workers: int = 0) -> "MPCConfig":
+        """Copy of this config running on a different execution backend."""
+        from dataclasses import replace
+
+        return replace(self, backend=backend, backend_workers=workers)
 
     @property
     def total_memory(self) -> int:

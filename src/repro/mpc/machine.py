@@ -43,6 +43,13 @@ def words_of(obj: Any) -> int:
     characters (they appear only in phase labels, never in hot state);
     :class:`Costed` wrappers cost their declared amount.
 
+    The accountant runs after *every* superstep over every machine's full
+    state, which makes it the simulator's hottest loop on seed-search
+    workloads.  Exact-type dispatch with inline counting of flat ints
+    keeps the common case (containers of plain ints) to one Python frame
+    per container; subclasses of the accepted types fall through to the
+    slow path with identical accounting.
+
     >>> words_of(5)
     1
     >>> words_of({1: (2, 3), 4: (5,)})
@@ -50,15 +57,39 @@ def words_of(obj: Any) -> int:
     >>> words_of([(1, 2), (3,)])
     3
     """
+    t = type(obj)
+    if t is int:
+        return 1
+    if t is tuple or t is list or t is set or t is frozenset:
+        total = 0
+        for item in obj:
+            if type(item) is int:
+                total += 1
+            else:
+                total += words_of(item)
+        return total
+    if t is dict:
+        total = 0
+        for k, v in obj.items():
+            total += 1 if type(k) is int else words_of(k)
+            total += 1 if type(v) is int else words_of(v)
+        return total
     if obj is None:
         return 0
+    if t is Costed:
+        return obj.words
+    if t is bool or t is float:
+        return 1
+    if t is str:
+        return (len(obj) + 7) // 8
+    return _words_of_slow(obj)
+
+
+def _words_of_slow(obj: Any) -> int:
+    """Subclass-tolerant fallback for :func:`words_of` (cold path)."""
     if isinstance(obj, Costed):
         return obj.words
-    if isinstance(obj, bool):
-        return 1
-    if isinstance(obj, int):
-        return 1
-    if isinstance(obj, float):
+    if isinstance(obj, (bool, int, float)):
         return 1
     if isinstance(obj, str):
         return (len(obj) + 7) // 8

@@ -11,6 +11,16 @@ simulator therefore records:
 * ``peak_memory_words`` — worst per-machine residency observed;
 * ``phases`` — named round ranges, so benches can attribute rounds to
   algorithm stages (sparsify vs gather vs cleanup, seed search vs commit).
+
+Alongside the model quantities the accumulator keeps **wall-clock
+timing**: ``time_per_round`` (seconds per communication superstep,
+including the callback execution that produced its messages) and
+``time_per_phase`` (seconds attributed to the phase active when the
+work ran, local steps included).  Wall-clock measures the *simulator*,
+not a cluster — it exists so performance work on the simulator's hot
+paths (estimator caching, execution backends) is measured rather than
+asserted.  Timing never feeds back into any algorithmic decision, so
+runs stay bit-for-bit deterministic in members/rounds/words.
 """
 
 from __future__ import annotations
@@ -38,10 +48,19 @@ class RunMetrics:
     max_words_received: int = 0
     peak_memory_words: int = 0
     phases: List[PhaseMark] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    time_per_round: List[float] = field(default_factory=list)
+    time_per_phase: Dict[str, float] = field(default_factory=dict)
+
+    UNPHASED = "(unphased)"
 
     def begin_phase(self, name: str) -> None:
         """Mark the start of a named phase at the current round."""
         self.phases.append(PhaseMark(name=name, start_round=self.rounds))
+
+    def current_phase(self) -> str:
+        """Name of the phase subsequent work is attributed to."""
+        return self.phases[-1].name if self.phases else self.UNPHASED
 
     def record_round(
         self,
@@ -56,6 +75,20 @@ class RunMetrics:
         self.total_words += words
         self.max_words_sent = max(self.max_words_sent, max_sent)
         self.max_words_received = max(self.max_words_received, max_received)
+
+    def record_elapsed(self, seconds: float, is_round: bool = False) -> None:
+        """Attribute ``seconds`` of wall clock to the current phase.
+
+        ``is_round`` additionally appends to ``time_per_round`` (called
+        once per communication superstep, after ``record_round``).
+        """
+        self.wall_time_s += seconds
+        phase = self.current_phase()
+        self.time_per_phase[phase] = (
+            self.time_per_phase.get(phase, 0.0) + seconds
+        )
+        if is_round:
+            self.time_per_round.append(seconds)
 
     def record_memory(self, words: int) -> None:
         """Record an observed per-machine memory footprint."""
@@ -80,7 +113,12 @@ class RunMetrics:
         return spans
 
     def summary(self) -> Dict[str, int]:
-        """Flat dict for table output."""
+        """Flat dict for table output (model quantities only — ints).
+
+        Wall-clock is deliberately excluded: the summary participates in
+        determinism assertions (identical runs must compare equal), which
+        timing would break.  Use :meth:`timing_summary` for wall-clock.
+        """
         return {
             "rounds": self.rounds,
             "total_messages": self.total_messages,
@@ -89,3 +127,14 @@ class RunMetrics:
             "max_words_received": self.max_words_received,
             "peak_memory_words": self.peak_memory_words,
         }
+
+    def timing_summary(self) -> Dict[str, float]:
+        """Wall-clock totals: overall seconds plus per-phase seconds.
+
+        Per-phase keys are prefixed ``time_`` so the dict can be merged
+        into a flat record without colliding with round counts.
+        """
+        out: Dict[str, float] = {"wall_time_s": round(self.wall_time_s, 6)}
+        for phase, seconds in self.time_per_phase.items():
+            out[f"time_{phase}"] = round(seconds, 6)
+        return out

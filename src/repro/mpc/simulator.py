@@ -16,6 +16,14 @@ Determinism: machines are processed in id order and each inbox is sorted by
 ``(sender id, arrival index)``, so a simulated run is a pure function of
 (algorithm, input, config).
 
+*Execution* of the machine callbacks is delegated to a pluggable
+:class:`~repro.mpc.backends.SuperstepBackend` (serial by default; an
+opt-in process pool fans callbacks across workers).  Backends change
+wall-clock only: results are merged in machine-id order before routing,
+so every backend yields the identical run.  Each superstep's wall-clock
+is recorded into :class:`~repro.mpc.metrics.RunMetrics` (per round and
+per phase) so simulator performance is measured, never asserted.
+
 Budget enforcement is strict by default: a machine exceeding its memory
 budget, or sending/receiving more than ``S`` words in one superstep, aborts
 the run with :class:`~repro.errors.MPCViolationError`.  Benchmarks run
@@ -25,9 +33,11 @@ executions.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import MPCRoutingError, MPCViolationError
+from repro.mpc.backends import SuperstepBackend, resolve_backend
 from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
@@ -37,23 +47,40 @@ MachineFn = Callable[[Machine], Optional[Iterable[Message]]]
 
 
 class Simulator:
-    """Executes MPC supersteps under a fixed :class:`MPCConfig`."""
+    """Executes MPC supersteps under a fixed :class:`MPCConfig`.
 
-    def __init__(self, config: MPCConfig, enforce: bool = True):
+    ``backend`` overrides the execution backend named by
+    ``config.backend`` (useful for injecting a pre-built or instrumented
+    backend in tests); both select *how* callbacks run, never what they
+    compute.
+    """
+
+    def __init__(
+        self,
+        config: MPCConfig,
+        enforce: bool = True,
+        backend: Optional[SuperstepBackend] = None,
+    ):
         self.config = config
         self.enforce = enforce
         self.machines: List[Machine] = [
             Machine(mid) for mid in range(config.num_machines)
         ]
         self.metrics = RunMetrics()
+        self.backend: SuperstepBackend = (
+            backend
+            if backend is not None
+            else resolve_backend(config.backend, config.backend_workers)
+        )
 
     # ------------------------------------------------------------------
     # Supersteps
     # ------------------------------------------------------------------
     def local(self, fn: Callable[[Machine], None]) -> None:
         """Apply a local computation to every machine (no round cost)."""
-        for machine in self.machines:
-            fn(machine)
+        started = time.perf_counter()
+        self.backend.run_local(self.machines, fn)
+        self.metrics.record_elapsed(time.perf_counter() - started)
         self._check_memory()
 
     def communicate(self, fn: MachineFn) -> None:
@@ -64,10 +91,8 @@ class Simulator:
         synchronous semantics: nothing sent this round is visible until the
         round completes.
         """
-        outboxes: List[List[Message]] = []
-        for machine in self.machines:
-            sent = fn(machine)
-            outboxes.append(list(sent) if sent is not None else [])
+        started = time.perf_counter()
+        outboxes = self.backend.run_communicate(self.machines, fn)
 
         inboxes: List[List[Tuple[int, ...]]] = [
             [] for _ in self.machines
@@ -115,6 +140,9 @@ class Simulator:
             max_sent=max_sent,
             max_received=max_received,
         )
+        self.metrics.record_elapsed(
+            time.perf_counter() - started, is_round=True
+        )
         self._check_memory()
 
     # ------------------------------------------------------------------
@@ -127,6 +155,16 @@ class Simulator:
     def machine(self, mid: int) -> Machine:
         """Return machine ``mid``."""
         return self.machines[mid]
+
+    def shutdown(self) -> None:
+        """Release backend resources (worker pools); safe to call twice."""
+        self.backend.shutdown()
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
 
     @property
     def num_machines(self) -> int:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.det_luby import det_luby_mis, modulus_for
 from repro.core.verify import verify_ruling_set
-from repro.errors import AlgorithmError
 from repro.graph import generators as gen
 from repro.graph.graph import Graph
 from repro.mpc.config import MPCConfig

@@ -5,7 +5,6 @@ import pytest
 from repro.core.det_matching import (
     build_distributed_line_graph,
     det_maximal_matching,
-    line_graph_words,
     matching_config,
     verify_maximal_matching,
 )
@@ -13,7 +12,6 @@ from repro.core.rand_baselines import random_luby_chooser
 from repro.errors import AlgorithmError
 from repro.graph import generators as gen
 from repro.graph.graph import Graph
-from repro.mpc.config import MPCConfig
 from repro.mpc.graph_store import DistributedGraph
 from repro.mpc.simulator import Simulator
 from repro.util.rng import SplitMix64

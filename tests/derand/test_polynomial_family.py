@@ -1,7 +1,5 @@
 """Exact k-wise independence of the polynomial family."""
 
-from itertools import product
-
 import pytest
 
 from repro.derand.family import AffineFamily, PolynomialFamily, PolynomialSeed

@@ -4,7 +4,7 @@ import pytest
 
 from repro.derand.conditional import choose_seed
 from repro.derand.estimator import ThresholdEstimator
-from repro.derand.family import AffineFamily, Seed
+from repro.derand.family import Seed
 from repro.derand.seed_search import (
     distributed_choose_seed,
     distributed_scan_seeds,
@@ -163,3 +163,80 @@ class TestDistributedScanSeeds:
         )
         for m in sim.machines:
             assert m.store["_derand_seed"] == (seed.a, seed.b)
+
+
+class TestMaxABatchExhaustion:
+    """Stage 1 must fail loudly when the batch allowance runs out.
+
+    The planted instance is a single pair term over GF(11) whose
+    acceptance set starts at multiplier a=4: with x1=0, T1=2, x2=3,
+    T2=2 the offset must land in [0,2) ∩ [(-3a) mod 11, (-3a) mod 11+2),
+    which is empty for a ∈ {1, 2, 3}.  With chunk_bits=1 the scan works
+    in batches of two multipliers, so batch one {1, 2} fails and batch
+    two {3, 4} accepts.
+    """
+
+    def plant(self, sim):
+        sim.machines[0].store["vt"] = []
+        sim.machines[0].store["pt"] = [(0, 2, 3, 2, 1)]
+        for machine in sim.machines[1:]:
+            machine.store["vt"] = []
+            machine.store["pt"] = []
+
+    def test_exhaustion_raises(self):
+        sim = sim_with(k=3)
+        self.plant(sim)
+        with pytest.raises(DerandomizationError, match="batches"):
+            distributed_choose_seed(
+                sim,
+                11,
+                flat_term_estimator(11, "vt", "pt"),
+                chunk_bits=1,
+                max_a_batches=1,
+            )
+
+    def test_one_more_batch_succeeds(self):
+        sim = sim_with(k=3)
+        self.plant(sim)
+        seed, stats = distributed_choose_seed(
+            sim,
+            11,
+            flat_term_estimator(11, "vt", "pt"),
+            chunk_bits=1,
+            max_a_batches=2,
+        )
+        assert stats.batches == 2
+        assert seed.a == 4
+
+
+class TestEstimatorCaching:
+    def test_cache_on_off_bit_identical(self):
+        """Caching may only skip rebuild work, never change the run."""
+        outcomes = []
+        for cached in (True, False):
+            sim = sim_with()
+            plant_random_terms(sim, 31, seed=4)
+            seed, stats = distributed_choose_seed(
+                sim,
+                31,
+                flat_term_estimator(31, "vt", "pt"),
+                cache_estimators=cached,
+            )
+            outcomes.append((seed, stats, sim.metrics.summary()))
+        assert outcomes[0] == outcomes[1]
+
+    def test_memoized_builder_builds_once_per_machine(self):
+        from repro.derand.seed_search import MemoizedEstimatorBuilder
+
+        calls = []
+
+        def builder(machine):
+            calls.append(machine.mid)
+            return ThresholdEstimator(31)
+
+        sim = sim_with(k=3)
+        memo = MemoizedEstimatorBuilder(builder)
+        for _ in range(4):
+            for machine in sim.machines:
+                memo(machine)
+        assert sorted(calls) == [0, 1, 2]

@@ -8,7 +8,7 @@ out correlated bugs between our algorithms and our own oracles.
 
 import networkx as nx
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import strategies as st
 
 from repro.graph import generators as gen
 from repro.graph.graph import Graph

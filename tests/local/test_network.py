@@ -1,7 +1,5 @@
 """Tests for the LOCAL-model round simulator."""
 
-from typing import Any, List, Tuple
-
 import pytest
 
 from repro.errors import AlgorithmError

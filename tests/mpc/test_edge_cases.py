@@ -7,7 +7,6 @@ from repro.graph import generators as gen
 from repro.mpc.config import MPCConfig
 from repro.mpc.graph_store import ADJ, DistributedGraph
 from repro.mpc.machine import Costed, words_of
-from repro.mpc.message import Message
 from repro.mpc.metrics import RunMetrics
 from repro.mpc.primitives.broadcast import broadcast_value
 from repro.mpc.primitives.sort import sample_sort

@@ -10,7 +10,6 @@ from repro.local.algorithms.linial_coloring import (
     run_linial_coloring,
 )
 from repro.local.algorithms.luby_mis import IN_MIS, LubyMIS, run_luby_mis
-from repro.local.network import LocalNetwork
 from repro.mpc.config import MPCConfig
 from repro.mpc.graph_store import DistributedGraph
 from repro.mpc.local_bridge import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import MPCRoutingError, MPCViolationError
 from repro.mpc.config import MPCConfig
-from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 from repro.mpc.simulator import Simulator
 
