@@ -18,6 +18,7 @@ from typing import Dict, Iterable
 
 from repro.analysis.records import RunRecord
 from repro.mpc.metrics import RunMetrics
+from repro.mpc.trace import TraceRecorder
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -49,3 +50,18 @@ def save_records(experiment: str, records: Iterable[RunRecord]) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     lines = [record.to_json() for record in records]
     (RESULTS_DIR / f"{experiment}.jsonl").write_text("\n".join(lines) + "\n")
+
+
+def save_trace(experiment: str, trace: TraceRecorder) -> Path:
+    """Persist one run's superstep trace next to the experiment results.
+
+    ``trace`` is the :class:`TraceRecorder` off a traced run (e.g.
+    ``solve_ruling_set(..., trace=True).trace``).  Writes
+    ``results/<experiment>.trace.jsonl`` and returns the path, so a
+    bench can archive the per-round communication shape of one
+    representative cell without touching its printed tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.trace.jsonl"
+    trace.write_jsonl(path)
+    return path

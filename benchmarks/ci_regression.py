@@ -7,11 +7,18 @@ baseline ``benchmarks/results/ci_baseline.json``:
 * **model quantities** (rounds, words, sizes) must match the baseline
   *exactly* — the algorithms are deterministic, so any drift is a real
   behaviour change that needs a deliberate baseline update;
-* **wall-clock** must stay within a relative tolerance (default ±20%)
-  of the baseline — a simulator performance regression fails the job.
-  Wall-clock is measured as the best of ``--repeats`` runs to damp
-  scheduler noise; ``--no-time`` skips the comparison entirely for
-  machines unlike the one that wrote the baseline.
+* **wall-clock** drift beyond the relative tolerance (default ±20%) is
+  reported as a **visible warning**, not a failure: shared CI runners
+  have noisy-neighbour wall-clock variance that would flake a hard
+  gate, so timing regressions are surfaced for humans while only the
+  deterministic model quantities can fail the job.  Wall-clock is
+  measured as the best of ``--repeats`` runs to damp scheduler noise;
+  ``--no-time`` skips the comparison entirely for machines unlike the
+  one that wrote the baseline.
+
+``--trace-out PATH`` additionally re-runs the first E1 cell with the
+superstep trace enabled and writes its JSONL export, so CI can archive
+a budget-headroom trace as a workflow artifact.
 
 Usage::
 
@@ -124,9 +131,16 @@ def check(
     baseline: Dict[str, Dict[str, float]],
     time_tolerance: float,
     compare_time: bool,
-) -> List[str]:
-    """Return a list of human-readable regression descriptions."""
+) -> Tuple[List[str], List[str]]:
+    """Compare against the baseline.
+
+    Returns ``(failures, warnings)``: exact model-quantity mismatches
+    are failures; wall-clock drift beyond the tolerance is a warning —
+    visible in the job log but non-fatal, because shared CI runners
+    make hard wall-clock gates flaky.
+    """
     failures: List[str] = []
+    warnings: List[str] = []
     for name, base_row in baseline.items():
         if name not in measured:
             failures.append(f"{name}: cell missing from this run")
@@ -145,7 +159,7 @@ def check(
             this_time = float(row["wall_time_s"])
             drift = (this_time - base_time) / base_time
             if abs(drift) > time_tolerance:
-                failures.append(
+                warnings.append(
                     f"{name}.wall_time_s: measured {this_time:.4f}s vs "
                     f"baseline {base_time:.4f}s ({drift:+.0%}, tolerance "
                     f"±{time_tolerance:.0%})"
@@ -156,7 +170,27 @@ def check(
                 f"{name}: new cell not present in baseline "
                 "(rerun --write-baseline)"
             )
-    return failures
+    return failures, warnings
+
+
+def write_trace(path: Path) -> None:
+    """Re-run the first E1 cell with tracing on; write the JSONL export.
+
+    The traced run's model quantities are identical to the untraced
+    cell (tracing is a pure observer — pinned by test), so this adds an
+    inspectable budget-headroom artifact without perturbing the gate.
+    """
+    graph = gen.gnp_random_graph(256, 12, 256, seed=256)
+    result = solve_ruling_set(
+        graph, algorithm="det-ruling", beta=2, regime="sublinear",
+        trace=True,
+    )
+    result.trace.write_jsonl(path)
+    print(
+        f"trace written to {path} ({len(result.trace.events)} events, "
+        f"{len(result.trace.warnings)} budget warnings, min headroom "
+        f"{result.trace.min_headroom_words()} words)"
+    )
 
 
 def main(argv=None) -> int:
@@ -173,7 +207,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--time-tolerance", type=float, default=0.20,
-        help="relative wall-clock tolerance (default 0.20 = ±20%%)",
+        help="relative wall-clock tolerance before a drift warning "
+        "(default 0.20 = ±20%%; drift warns, never fails)",
     )
     parser.add_argument(
         "--no-time", action="store_true",
@@ -182,6 +217,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repeats per cell; best time is kept (default 3)",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="also run one traced cell and write its JSONL trace here "
+        "(uploaded as a CI artifact for budget-headroom inspection)",
     )
     args = parser.parse_args(argv)
 
@@ -207,20 +247,26 @@ def main(argv=None) -> int:
         print(f"error: no baseline at {args.baseline}; run --write-baseline")
         return 1
     baseline = json.loads(args.baseline.read_text())["cells"]
-    failures = check(
+    failures, warnings = check(
         measured,
         baseline,
         time_tolerance=args.time_tolerance,
         compare_time=not args.no_time,
     )
+    if args.trace_out is not None:
+        write_trace(args.trace_out)
+    if warnings:
+        print("\nBENCHMARK WARNINGS (wall-clock drift; non-fatal):")
+        for warning in warnings:
+            print(f"  ~ {warning}")
     if failures:
         print("\nBENCHMARK REGRESSION:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nall cells match the baseline "
-          f"(exact model quantities; wall clock within "
-          f"±{args.time_tolerance:.0%})")
+    print("\nall cells match the baseline on exact model quantities"
+          + ("" if warnings else
+             f" (wall clock within ±{args.time_tolerance:.0%})"))
     return 0
 
 

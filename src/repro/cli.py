@@ -5,11 +5,17 @@ Installed as ``repro-mpc``::
     repro-mpc generate --family gnp --n 300 --param 12 --out g.txt
     repro-mpc solve --input g.txt --algorithm det-ruling --beta 2
     repro-mpc solve --family powerlaw --n 400 --algorithm det-luby --json
+    repro-mpc trace --family gnp --n 256 --out run.trace.jsonl \
+        --chrome-out run.trace.json
     repro-mpc verify --input g.txt --members 3,19,40 --beta 2
     repro-mpc sweep --n 128,256 --algorithms det-ruling,det-luby
 
 Every ``solve`` runs on the enforcing simulator and verifies its output;
 ``--json`` emits a machine-readable record instead of the text summary.
+``trace`` (or ``solve --trace-out``) additionally records the
+structured superstep trace — per-round words, per-machine budget
+utilization, headroom warnings — as JSONL and, with ``--chrome-out``,
+in Chrome trace format for ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -96,6 +102,7 @@ def cmd_generate(args) -> int:
 
 def cmd_solve(args) -> int:
     graph = _load_or_build(args)
+    trace_out = getattr(args, "trace_out", None)
     result = solve_ruling_set(
         graph,
         algorithm=args.algorithm,
@@ -105,7 +112,20 @@ def cmd_solve(args) -> int:
         seed=args.seed,
         backend=args.backend,
         backend_workers=args.workers,
+        trace=trace_out is not None,
     )
+    if trace_out is not None:
+        if result.trace is None:
+            raise ReproError(
+                f"algorithm {args.algorithm!r} does not run on the MPC "
+                "simulator; --trace-out needs an MPC algorithm"
+            )
+        result.trace.write_jsonl(trace_out)
+        if not args.json:
+            print(
+                f"trace:      {trace_out} "
+                f"({len(result.trace.events)} events)"
+            )
     if args.json:
         payload = result.summary_row()
         payload["members"] = result.members
@@ -128,6 +148,65 @@ def cmd_solve(args) -> int:
         print(f"wall clock: {result.wall_time_s:.3f}s (simulator, not cluster)")
         for phase in sorted(result.time_per_phase):
             print(f"  time[{phase}] = {result.time_per_phase[phase]:.3f}s")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Solve with the superstep trace enabled; write JSONL (+ Chrome)."""
+    graph = _load_or_build(args)
+    result = solve_ruling_set(
+        graph,
+        algorithm=args.algorithm,
+        beta=args.beta,
+        alpha=args.alpha,
+        regime=args.regime,
+        seed=args.seed,
+        backend=args.backend,
+        backend_workers=args.workers,
+        trace=True,
+        trace_warn_utilization=args.warn_utilization,
+    )
+    trace = result.trace
+    if trace is None:
+        raise ReproError(
+            f"algorithm {args.algorithm!r} does not run on the MPC "
+            "simulator; there is no superstep trace to record"
+        )
+    trace.write_jsonl(args.out)
+    print(f"graph:        n={graph.num_vertices} m={graph.num_edges}")
+    print(f"algorithm:    {result.algorithm}")
+    print(f"rounds:       {result.rounds}")
+    print(f"total words:  {result.metrics['total_words']}")
+    print(
+        f"min headroom: {trace.min_headroom_words()} words "
+        f"(budget S={result.metrics['memory_words']})"
+    )
+    print(f"trace jsonl:  {args.out} ({len(trace.events)} events)")
+    if args.chrome_out:
+        trace.write_chrome_trace(args.chrome_out)
+        print(
+            f"chrome trace: {args.chrome_out} "
+            "(load in chrome://tracing or Perfetto)"
+        )
+    if trace.warnings:
+        lines = trace.format_warnings()
+        print(
+            f"budget warnings (≥{100 * trace.warn_utilization:.0f}% of S, "
+            f"{len(lines)} total):"
+        )
+        shown = 20
+        for line in lines[:shown]:
+            print(f"  ! {line}")
+        if len(lines) > shown:
+            print(
+                f"  ... and {len(lines) - shown} more "
+                "(full list in the JSONL export)"
+            )
+    else:
+        print(
+            "budget warnings: none "
+            f"(threshold {100 * trace.warn_utilization:.0f}% of S)"
+        )
     return 0
 
 
@@ -211,30 +290,56 @@ def make_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--out", required=True)
     p_generate.set_defaults(func=cmd_generate)
 
+    def _add_solve_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--algorithm", default="det-ruling",
+            help="det-ruling | rand-ruling | det-luby | rand-luby | "
+            "greedy-mis | greedy-ruling | local-luby | local-bitwise",
+        )
+        parser.add_argument("--beta", type=int, default=2)
+        parser.add_argument("--alpha", type=int, default=2)
+        parser.add_argument(
+            "--regime", default="sublinear",
+            choices=("sublinear", "near-linear", "single"),
+        )
+        parser.add_argument(
+            "--backend", default=None, choices=("serial", "process"),
+            help="superstep execution backend (results are bit-identical; "
+            "'process' fans machine callbacks across worker processes)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=0,
+            help="process-pool size for --backend process (0 = one per CPU)",
+        )
+
     p_solve = sub.add_parser("solve", help="compute a verified ruling set")
     _add_graph_source(p_solve)
+    _add_solve_options(p_solve)
     p_solve.add_argument(
-        "--algorithm", default="det-ruling",
-        help="det-ruling | rand-ruling | det-luby | rand-luby | "
-        "greedy-mis | greedy-ruling | local-luby | local-bitwise",
-    )
-    p_solve.add_argument("--beta", type=int, default=2)
-    p_solve.add_argument("--alpha", type=int, default=2)
-    p_solve.add_argument(
-        "--regime", default="sublinear",
-        choices=("sublinear", "near-linear", "single"),
-    )
-    p_solve.add_argument(
-        "--backend", default=None, choices=("serial", "process"),
-        help="superstep execution backend (results are bit-identical; "
-        "'process' fans machine callbacks across worker processes)",
-    )
-    p_solve.add_argument(
-        "--workers", type=int, default=0,
-        help="process-pool size for --backend process (0 = one per CPU)",
+        "--trace-out", default=None,
+        help="enable the superstep trace and write its JSONL here",
     )
     p_solve.add_argument("--json", action="store_true")
     p_solve.set_defaults(func=cmd_solve)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="solve with the superstep trace on; export JSONL/Chrome trace",
+    )
+    _add_graph_source(p_trace)
+    _add_solve_options(p_trace)
+    p_trace.add_argument(
+        "--out", required=True, help="JSONL trace output path"
+    )
+    p_trace.add_argument(
+        "--chrome-out", default=None,
+        help="also write Chrome trace format (chrome://tracing, Perfetto)",
+    )
+    p_trace.add_argument(
+        "--warn-utilization", type=float, default=0.9,
+        help="budget-audit threshold as a fraction of S (default 0.9)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_match = sub.add_parser(
         "match", help="compute a verified maximal matching"

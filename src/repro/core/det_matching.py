@@ -236,16 +236,18 @@ def solve_matching(
     if graph.num_vertices == 0:
         return [], {"rounds": 0}
     cfg = matching_config(graph)
-    sim = Simulator(cfg)
-    dg = DistributedGraph.load(sim, graph)
-    if deterministic:
-        matching, counters = det_maximal_matching(dg)
-    else:
-        matching, counters = det_maximal_matching(
-            dg,
-            chooser=random_luby_chooser(SplitMix64(seed=seed)),
-            allow_stalls=64,
-        )
+    # Context manager so backend worker pools are released even when the
+    # solve raises (same lifecycle contract as core.pipeline).
+    with Simulator(cfg) as sim:
+        dg = DistributedGraph.load(sim, graph)
+        if deterministic:
+            matching, counters = det_maximal_matching(dg)
+        else:
+            matching, counters = det_maximal_matching(
+                dg,
+                chooser=random_luby_chooser(SplitMix64(seed=seed)),
+                allow_stalls=64,
+            )
     if verify:
         verify_maximal_matching(graph, matching)
     metrics: Dict[str, int] = dict(sim.metrics.summary())

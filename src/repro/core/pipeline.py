@@ -69,6 +69,8 @@ def solve_ruling_set(
     verify: bool = True,
     backend: Optional[str] = None,
     backend_workers: int = 0,
+    trace: bool = False,
+    trace_warn_utilization: float = 0.9,
 ) -> RulingSetResult:
     """Compute and verify a ruling set of ``graph``.
 
@@ -99,6 +101,13 @@ def solve_ruling_set(
         ``"process"``; see :mod:`repro.mpc.backends`).  Execution
         strategy only: every backend produces bit-identical members,
         rounds, and communication metrics.
+    trace / trace_warn_utilization:
+        Enable the structured superstep trace (MPC algorithms only;
+        ignored by the sequential/LOCAL baselines, which never touch
+        the simulator).  The recorder lands on ``result.trace`` with
+        JSONL / Chrome-trace export and budget-headroom warnings at the
+        given fraction of ``S``.  Pure observer: traced runs are
+        bit-identical to untraced ones.
 
     Returns a :class:`RulingSetResult` whose ``rounds`` / ``metrics``
     reflect the enforced MPC execution (0 rounds for sequential/LOCAL
@@ -148,6 +157,7 @@ def solve_ruling_set(
         result = _solve_mpc(
             graph, algorithm, beta, alpha, regime, alpha_mem, config, seed,
             backend=backend, backend_workers=backend_workers,
+            trace=trace, trace_warn_utilization=trace_warn_utilization,
         )
     else:
         raise AlgorithmError(f"unknown algorithm {algorithm!r}")
@@ -170,6 +180,8 @@ def _solve_mpc(
     seed: int,
     backend: Optional[str] = None,
     backend_workers: int = 0,
+    trace: bool = False,
+    trace_warn_utilization: float = 0.9,
 ) -> RulingSetResult:
     sizing_graph = graph
     if alpha > 2:
@@ -184,56 +196,60 @@ def _solve_mpc(
     )
     if backend is not None:
         cfg = cfg.with_backend(backend, backend_workers)
+    if trace and not cfg.trace:
+        cfg = cfg.with_trace(warn_utilization=trace_warn_utilization)
     cfg.validate_input_size(
         MPCConfig.input_words(
             sizing_graph.num_vertices, sizing_graph.num_edges
         )
     )
-    sim = Simulator(cfg)
-    dg = DistributedGraph.load(sim, graph)
+    # Context manager, not a trailing shutdown() call: a solve that
+    # raises (e.g. MPCViolationError) must still release the backend's
+    # worker pools, or every failed run leaks processes.
+    with Simulator(cfg) as sim:
+        dg = DistributedGraph.load(sim, graph)
 
-    if algorithm == "det-luby":
-        counters = det_luby_mis(dg, in_set_key="result_set")
-        claimed_beta = 1
-    elif algorithm == "rand-luby":
-        counters = rand_luby_mis(dg, in_set_key="result_set", seed=seed)
-        claimed_beta = 1
-    elif algorithm == "det-ruling":
-        if alpha > 2:
-            from repro.core.alpha_ruling import det_alpha_ruling_set
+        if algorithm == "det-luby":
+            counters = det_luby_mis(dg, in_set_key="result_set")
+            claimed_beta = 1
+        elif algorithm == "rand-luby":
+            counters = rand_luby_mis(dg, in_set_key="result_set", seed=seed)
+            claimed_beta = 1
+        elif algorithm == "det-ruling":
+            if alpha > 2:
+                from repro.core.alpha_ruling import det_alpha_ruling_set
 
-            claimed_beta, counters = det_alpha_ruling_set(
-                dg, alpha=alpha, beta=beta, in_set_key="result_set"
-            )
-        else:
-            counters = det_ruling_set(
-                dg, beta=beta, in_set_key="result_set"
-            )
-            claimed_beta = beta
-    else:  # rand-ruling
-        if alpha > 2:
-            from repro.core.alpha_ruling import det_alpha_ruling_set
-            from repro.core.rand_baselines import (
-                random_luby_chooser,
-                random_sampling_chooser,
-            )
-            from repro.util.rng import SplitMix64
+                claimed_beta, counters = det_alpha_ruling_set(
+                    dg, alpha=alpha, beta=beta, in_set_key="result_set"
+                )
+            else:
+                counters = det_ruling_set(
+                    dg, beta=beta, in_set_key="result_set"
+                )
+                claimed_beta = beta
+        else:  # rand-ruling
+            if alpha > 2:
+                from repro.core.alpha_ruling import det_alpha_ruling_set
+                from repro.core.rand_baselines import (
+                    random_luby_chooser,
+                    random_sampling_chooser,
+                )
+                from repro.util.rng import SplitMix64
 
-            rng = SplitMix64(seed=seed)
-            claimed_beta, counters = det_alpha_ruling_set(
-                dg, alpha=alpha, beta=beta, in_set_key="result_set",
-                chooser=random_sampling_chooser(rng.fork(1)),
-                luby_chooser=random_luby_chooser(rng.fork(2)),
-                luby_allow_stalls=64,
-            )
-        else:
-            counters = rand_ruling_set(
-                dg, beta=beta, in_set_key="result_set", seed=seed
-            )
-            claimed_beta = beta
+                rng = SplitMix64(seed=seed)
+                claimed_beta, counters = det_alpha_ruling_set(
+                    dg, alpha=alpha, beta=beta, in_set_key="result_set",
+                    chooser=random_sampling_chooser(rng.fork(1)),
+                    luby_chooser=random_luby_chooser(rng.fork(2)),
+                    luby_allow_stalls=64,
+                )
+            else:
+                counters = rand_ruling_set(
+                    dg, beta=beta, in_set_key="result_set", seed=seed
+                )
+                claimed_beta = beta
 
-    members = dg.collect_marked("result_set")
-    sim.shutdown()
+        members = dg.collect_marked("result_set")
     metrics = dict(sim.metrics.summary())
     metrics.update({f"alg_{key}": value for key, value in counters.items()})
     metrics["num_machines"] = cfg.num_machines
@@ -251,4 +267,5 @@ def _solve_mpc(
             phase: round(seconds, 6)
             for phase, seconds in sim.metrics.time_per_phase.items()
         },
+        trace=sim.trace,
     )

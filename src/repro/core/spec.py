@@ -12,7 +12,10 @@ An MIS is a (2, 1)-ruling set; "β-ruling set" abbreviates (2, β).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # import kept type-only: spec stays simulator-agnostic
+    from repro.mpc.trace import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,11 @@ class RulingSetResult:
         Wall-clock spent in the simulator, total and per phase — kept
         out of ``metrics`` precisely because timing varies between
         identical runs.  Measures the simulator, not a cluster.
+    trace:
+        The run's :class:`~repro.mpc.trace.TraceRecorder` when tracing
+        was enabled, else ``None``.  Excluded from equality for the
+        same reason timing is kept out of ``metrics``: the trace holds
+        wall clock, and identical runs must compare equal.
     """
 
     members: List[int]
@@ -51,6 +59,9 @@ class RulingSetResult:
     phase_rounds: Dict[str, int] = field(default_factory=dict)
     wall_time_s: float = 0.0
     time_per_phase: Dict[str, float] = field(default_factory=dict)
+    trace: Optional["TraceRecorder"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def size(self) -> int:

@@ -17,6 +17,10 @@ a single-process, cycle-accurate simulator of the MPC model.
   :class:`SerialBackend` (default, bit-identical to the historical
   engine) and :class:`ProcessPoolBackend` (opt-in worker-process
   fan-out with the same deterministic results).
+* :class:`TraceRecorder` (opt-in via ``MPCConfig.trace``) captures
+  per-superstep, per-machine observability events — words, memory
+  high-water, budget headroom vs ``S`` — with JSONL and Chrome-trace
+  export plus a budget auditor that warns before the hard fault.
 """
 
 from repro.mpc.backends import (
@@ -31,6 +35,7 @@ from repro.mpc.machine import Machine, words_of
 from repro.mpc.message import Message
 from repro.mpc.metrics import RunMetrics
 from repro.mpc.simulator import Simulator
+from repro.mpc.trace import TraceRecorder
 
 __all__ = [
     "MPCConfig",
@@ -39,6 +44,7 @@ __all__ = [
     "Message",
     "RunMetrics",
     "Simulator",
+    "TraceRecorder",
     "DistributedGraph",
     "SuperstepBackend",
     "SerialBackend",

@@ -74,7 +74,12 @@ class SuperstepBackend:
         """Release any worker resources (idempotent)."""
 
     def stats(self) -> Dict[str, int]:
-        """Execution counters (for diagnostics; empty when trivial)."""
+        """Execution counters (integer-valued, cheap to snapshot).
+
+        The trace layer (:mod:`repro.mpc.trace`) snapshots this dict on
+        every superstep for backend/worker attribution, so implementations
+        must keep it small and allocation-light.
+        """
         return {}
 
 
@@ -83,18 +88,26 @@ class SerialBackend(SuperstepBackend):
 
     name = "serial"
 
+    def __init__(self):
+        self._stats = {"local_steps": 0, "communicate_steps": 0}
+
     def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:
+        self._stats["local_steps"] += 1
         for machine in machines:
             fn(machine)
 
     def run_communicate(
         self, machines: Sequence[Machine], fn: MachineFn
     ) -> List[List[Message]]:
+        self._stats["communicate_steps"] += 1
         outboxes: List[List[Message]] = []
         for machine in machines:
             sent = fn(machine)
             outboxes.append(list(sent) if sent is not None else [])
         return outboxes
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats)
 
 
 def _chunk_ranges(count: int, parts: int) -> List[range]:
@@ -155,6 +168,8 @@ class ProcessPoolBackend(SuperstepBackend):
             "parallel_steps": 0,
             "serial_fallbacks": 0,
             "unpicklable_fallbacks": 0,
+            "chunks_dispatched": 0,
+            "machines_shipped": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
@@ -171,7 +186,13 @@ class ProcessPoolBackend(SuperstepBackend):
             self._executor = None
 
     def stats(self) -> Dict[str, int]:
-        return dict(self._stats)
+        out = dict(self._stats)
+        out["workers"] = self.workers
+        # Fold in the fallback path's counters so serial execution of
+        # unpicklable or tiny steps stays attributed in traces.
+        for key, value in self._serial.stats().items():
+            out[f"fallback_{key}"] = value
+        return out
 
     # -- execution ------------------------------------------------------
     def _serialize_fn(self, fn: MachineFn) -> Optional[bytes]:
@@ -215,6 +236,8 @@ class ProcessPoolBackend(SuperstepBackend):
                 if outboxes is not None:
                     merged[mid] = outboxes[offset]
         self._stats["parallel_steps"] += 1
+        self._stats["chunks_dispatched"] += len(chunks)
+        self._stats["machines_shipped"] += len(machines)
         return merged
 
     def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:

@@ -31,6 +31,7 @@ lift ``S`` above the requested regime value:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import MPCConfigError
 from repro.util.mathx import ceil_div, ipow_ceil
@@ -63,6 +64,13 @@ class MPCConfig:
     execution strategy only, never semantics: every backend produces
     bit-identical runs.  ``backend_workers`` sizes the process pool
     (0 = one worker per CPU); ignored by the serial backend.
+
+    ``trace`` enables the structured observability layer
+    (:mod:`repro.mpc.trace`): per-superstep events, per-machine budget
+    utilization, and JSONL / Chrome-trace export.  Pure observer — a
+    traced run is bit-identical to an untraced one.
+    ``trace_warn_utilization`` is the fraction of ``S`` at which the
+    budget auditor starts warning (before the hard violation fault).
     """
 
     num_machines: int
@@ -71,6 +79,8 @@ class MPCConfig:
     slack: int = 1
     backend: str = "serial"
     backend_workers: int = 0
+    trace: bool = False
+    trace_warn_utilization: float = 0.9
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -85,12 +95,33 @@ class MPCConfig:
             raise MPCConfigError(
                 f"backend_workers must be >= 0, got {self.backend_workers}"
             )
+        if not 0.0 < self.trace_warn_utilization <= 1.0:
+            raise MPCConfigError(
+                "trace_warn_utilization must lie in (0, 1], got "
+                f"{self.trace_warn_utilization}"
+            )
 
     def with_backend(self, backend: str, workers: int = 0) -> "MPCConfig":
         """Copy of this config running on a different execution backend."""
         from dataclasses import replace
 
         return replace(self, backend=backend, backend_workers=workers)
+
+    def with_trace(
+        self, enabled: bool = True, warn_utilization: Optional[float] = None
+    ) -> "MPCConfig":
+        """Copy of this config with tracing toggled (observer only)."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            trace=enabled,
+            trace_warn_utilization=(
+                self.trace_warn_utilization
+                if warn_utilization is None
+                else warn_utilization
+            ),
+        )
 
     @property
     def total_memory(self) -> int:

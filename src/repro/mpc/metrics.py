@@ -9,6 +9,9 @@ simulator therefore records:
 * ``max_words_sent`` / ``max_words_received`` — worst per-machine,
   per-round I/O observed (must stay ≤ S; the simulator enforces it);
 * ``peak_memory_words`` — worst per-machine residency observed;
+* ``words_per_round`` — the per-round communication series (sums to
+  ``total_words``; the trace layer's per-round events are cross-checked
+  against it);
 * ``phases`` — named round ranges, so benches can attribute rounds to
   algorithm stages (sparsify vs gather vs cleanup, seed search vs commit).
 
@@ -51,6 +54,7 @@ class RunMetrics:
     wall_time_s: float = 0.0
     time_per_round: List[float] = field(default_factory=list)
     time_per_phase: Dict[str, float] = field(default_factory=dict)
+    words_per_round: List[int] = field(default_factory=list)
 
     UNPHASED = "(unphased)"
 
@@ -75,6 +79,7 @@ class RunMetrics:
         self.total_words += words
         self.max_words_sent = max(self.max_words_sent, max_sent)
         self.max_words_received = max(self.max_words_received, max_received)
+        self.words_per_round.append(words)
 
     def record_elapsed(self, seconds: float, is_round: bool = False) -> None:
         """Attribute ``seconds`` of wall clock to the current phase.

@@ -29,6 +29,16 @@ budget, or sending/receiving more than ``S`` words in one superstep, aborts
 the run with :class:`~repro.errors.MPCViolationError`.  Benchmarks run
 strict, certifying that measured round counts come from model-legal
 executions.
+
+When tracing is enabled (``MPCConfig.trace`` or an injected
+:class:`~repro.mpc.trace.TraceRecorder`), each superstep additionally
+emits a structured event — per-machine words sent/received, memory
+high-water, budget headroom, active phase, backend counters — and the
+budget auditor warns when utilization crosses the configured fraction of
+``S`` *before* the hard fault would fire.  Tracing is a pure observer:
+every hook is gated on ``self.trace is not None`` (zero cost when
+disabled) and nothing recorded ever feeds back into routing,
+enforcement, or algorithm state, so traced runs stay bit-identical.
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ from repro.mpc.config import MPCConfig
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 from repro.mpc.metrics import RunMetrics
+from repro.mpc.trace import TraceRecorder
 
 MachineFn = Callable[[Machine], Optional[Iterable[Message]]]
 
@@ -52,7 +63,8 @@ class Simulator:
     ``backend`` overrides the execution backend named by
     ``config.backend`` (useful for injecting a pre-built or instrumented
     backend in tests); both select *how* callbacks run, never what they
-    compute.
+    compute.  ``trace`` likewise overrides ``config.trace``: pass a
+    :class:`TraceRecorder` to observe a run regardless of config.
     """
 
     def __init__(
@@ -60,6 +72,7 @@ class Simulator:
         config: MPCConfig,
         enforce: bool = True,
         backend: Optional[SuperstepBackend] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         self.config = config
         self.enforce = enforce
@@ -72,6 +85,12 @@ class Simulator:
             if backend is not None
             else resolve_backend(config.backend, config.backend_workers)
         )
+        if trace is not None:
+            self.trace: Optional[TraceRecorder] = trace
+        elif config.trace:
+            self.trace = TraceRecorder(config, config.trace_warn_utilization)
+        else:
+            self.trace = None
 
     # ------------------------------------------------------------------
     # Supersteps
@@ -80,7 +99,15 @@ class Simulator:
         """Apply a local computation to every machine (no round cost)."""
         started = time.perf_counter()
         self.backend.run_local(self.machines, fn)
-        self.metrics.record_elapsed(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_elapsed(elapsed)
+        if self.trace is not None:
+            self.trace.record_local(
+                round_index=self.metrics.rounds,
+                phase=self.metrics.current_phase(),
+                elapsed_s=elapsed,
+                backend_stats=self.backend.stats(),
+            )
         self._check_memory()
 
     def communicate(self, fn: MachineFn) -> None:
@@ -98,6 +125,7 @@ class Simulator:
             [] for _ in self.machines
         ]
         received_words = [0] * len(self.machines)
+        sent_per_machine = [0] * len(self.machines) if self.trace else None
         total_messages = 0
         total_words = 0
         max_sent = 0
@@ -105,7 +133,9 @@ class Simulator:
         for sender, outbox in enumerate(outboxes):
             sent_words = 0
             for message in outbox:
-                if message.dst >= len(self.machines):
+                # Both bounds matter: a negative dst would silently wrap
+                # via Python list indexing and deliver to machine k+dst.
+                if not 0 <= message.dst < len(self.machines):
                     raise MPCRoutingError(
                         f"machine {sender} sent to nonexistent machine "
                         f"{message.dst} (k={len(self.machines)})"
@@ -116,6 +146,8 @@ class Simulator:
                 total_messages += 1
             total_words += sent_words
             max_sent = max(max_sent, sent_words)
+            if sent_per_machine is not None:
+                sent_per_machine[sender] = sent_words
             if self.enforce and sent_words > self.config.memory_words:
                 raise MPCViolationError(
                     f"machine {sender} sent {sent_words} words in one round, "
@@ -140,9 +172,21 @@ class Simulator:
             max_sent=max_sent,
             max_received=max_received,
         )
-        self.metrics.record_elapsed(
-            time.perf_counter() - started, is_round=True
-        )
+        elapsed = time.perf_counter() - started
+        self.metrics.record_elapsed(elapsed, is_round=True)
+        if self.trace is not None:
+            self.trace.record_round(
+                round_index=self.metrics.rounds,
+                phase=self.metrics.current_phase(),
+                elapsed_s=elapsed,
+                messages=total_messages,
+                words=total_words,
+                max_sent=max_sent,
+                max_received=max_received,
+                sent_per_machine=sent_per_machine,
+                received_per_machine=received_words,
+                backend_stats=self.backend.stats(),
+            )
         self._check_memory()
 
     # ------------------------------------------------------------------
@@ -151,6 +195,8 @@ class Simulator:
     def begin_phase(self, name: str) -> None:
         """Label subsequent rounds with a phase name (for metrics)."""
         self.metrics.begin_phase(name)
+        if self.trace is not None:
+            self.trace.record_phase(name, self.metrics.rounds)
 
     def machine(self, mid: int) -> Machine:
         """Return machine ``mid``."""
@@ -178,6 +224,10 @@ class Simulator:
         for machine in self.machines:
             words = machine.memory_words()
             self.metrics.record_memory(words)
+            if self.trace is not None:
+                self.trace.record_memory(
+                    machine.mid, words, self.metrics.rounds
+                )
             if self.enforce and words > self.config.memory_words:
                 raise MPCViolationError(
                     f"machine {machine.mid} holds {words} words, budget "

@@ -86,3 +86,48 @@ class TestCommands:
             "--algorithm", "nonsense",
         ]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_trace_writes_jsonl_and_chrome(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.trace.jsonl"
+        chrome = tmp_path / "run.trace.json"
+        assert main([
+            "trace", "--family", "gnp", "--n", "60", "--param", "6",
+            "--algorithm", "det-luby", "--regime", "near-linear",
+            "--out", str(jsonl), "--chrome-out", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "min headroom:" in out
+        assert "budget warnings" in out
+        records = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "meta"
+        assert records[-1]["type"] == "summary"
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+
+    def test_trace_rejects_sequential_algorithm(self, tmp_path, capsys):
+        assert main([
+            "trace", "--family", "tree", "--n", "30",
+            "--algorithm", "greedy-mis", "--out", str(tmp_path / "t.jsonl"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_solve_trace_out(self, tmp_path, capsys):
+        jsonl = tmp_path / "solve.trace.jsonl"
+        assert main([
+            "solve", "--family", "gnp", "--n", "60", "--param", "6",
+            "--algorithm", "det-ruling", "--regime", "near-linear",
+            "--trace-out", str(jsonl),
+        ]) == 0
+        assert "trace:" in capsys.readouterr().out
+        records = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert summary["total_words"] == sum(
+            r["words"] for r in records if r["type"] == "round"
+        )

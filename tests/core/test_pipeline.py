@@ -79,3 +79,71 @@ class TestSolve:
             verify=False,
         )
         assert result.size >= 1
+
+
+class TestSimulatorLifecycle:
+    """The pipeline must release backend resources on every path."""
+
+    def _recording_simulator(self, monkeypatch):
+        import repro.core.pipeline as pipeline
+
+        sims = []
+        real_simulator = pipeline.Simulator
+
+        class RecordingSimulator(real_simulator):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.shutdown_calls = 0
+                sims.append(self)
+
+            def shutdown(self):
+                self.shutdown_calls += 1
+                super().shutdown()
+
+        monkeypatch.setattr(pipeline, "Simulator", RecordingSimulator)
+        return sims
+
+    def test_shutdown_on_success(self, small_er, monkeypatch):
+        sims = self._recording_simulator(monkeypatch)
+        solve_ruling_set(small_er, algorithm="det-luby")
+        assert sims and all(s.shutdown_calls >= 1 for s in sims)
+
+    def test_shutdown_when_solve_raises(self, small_er, monkeypatch):
+        # Regression: a raising solve (e.g. MPCViolationError) used to
+        # skip the trailing shutdown() and leak process-pool workers.
+        import repro.core.pipeline as pipeline
+
+        from repro.errors import MPCViolationError
+
+        sims = self._recording_simulator(monkeypatch)
+
+        def blow_budget(*args, **kwargs):
+            raise MPCViolationError("synthetic budget blowout")
+
+        monkeypatch.setattr(pipeline, "det_luby_mis", blow_budget)
+        with pytest.raises(MPCViolationError):
+            solve_ruling_set(small_er, algorithm="det-luby")
+        assert sims and all(s.shutdown_calls >= 1 for s in sims)
+
+
+class TestTraceThreading:
+    def test_trace_disabled_by_default(self, small_er):
+        result = solve_ruling_set(small_er, algorithm="det-ruling")
+        assert result.trace is None
+
+    def test_trace_rides_on_result(self, small_er):
+        plain = solve_ruling_set(small_er, algorithm="det-ruling")
+        traced = solve_ruling_set(
+            small_er, algorithm="det-ruling", trace=True
+        )
+        assert traced.trace is not None
+        # Pure observer: members and model metrics are bit-identical.
+        assert traced.members == plain.members
+        assert traced.metrics == plain.metrics
+        assert traced.trace.total_words() == traced.metrics["total_words"]
+
+    def test_trace_ignored_for_sequential(self, small_er):
+        result = solve_ruling_set(
+            small_er, algorithm="greedy-mis", trace=True
+        )
+        assert result.trace is None

@@ -140,6 +140,29 @@ class TestProcessPoolExecution:
         backend.shutdown()
         backend.shutdown()
 
+    def test_shutdown_idempotent_after_use(self):
+        backend = ProcessPoolBackend(workers=2)
+        cfg = MPCConfig(num_machines=6, memory_words=256)
+        sim = Simulator(cfg, backend=backend)
+        sim.local(_double_store)
+        assert backend._executor is not None
+        sim.shutdown()
+        assert backend._executor is None
+        sim.shutdown()  # second call must be a no-op, not an error
+        assert backend._executor is None
+
+    def test_context_manager_releases_pool_on_error(self):
+        # Regression: a solve that raises mid-run must still tear the
+        # worker pool down (the pipeline relies on this contract).
+        backend = ProcessPoolBackend(workers=2)
+        cfg = MPCConfig(num_machines=6, memory_words=256)
+        with pytest.raises(RuntimeError):
+            with Simulator(cfg, backend=backend) as sim:
+                sim.local(_double_store)
+                assert backend._executor is not None
+                raise RuntimeError("solve blew up mid-run")
+        assert backend._executor is None
+
 
 class TestBackendEquivalence:
     def test_det_luby_identical_across_backends(self):
@@ -161,4 +184,6 @@ class TestBackendEquivalence:
         sim = Simulator(cfg, backend=backend)
         sim.local(lambda m: m.store.__setitem__("x", m.mid))
         assert [m.store["x"] for m in sim.machines] == [0, 1, 2]
-        assert backend.stats() == {}
+        # The serial backend now reports step counters (the trace layer
+        # snapshots them for attribution) but nothing pool-related.
+        assert backend.stats() == {"local_steps": 1, "communicate_steps": 0}

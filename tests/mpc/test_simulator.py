@@ -81,6 +81,32 @@ class TestCommunicate:
         with pytest.raises(MPCRoutingError):
             sim.communicate(lambda m: [Message(9, (1,))])
 
+    def test_negative_destination_rejected_by_router(self):
+        # Regression: a negative dst used to wrap via Python list
+        # indexing and silently deliver to machine k+dst.  Message
+        # validates at construction, but pickle reconstruction (the
+        # process backend's transport) bypasses __post_init__ — the
+        # router must reject out-of-range ids on its own.
+        sim = small_sim()
+        evil = Message.__new__(Message)
+        object.__setattr__(evil, "dst", -1)
+        object.__setattr__(evil, "payload", (7,))
+        with pytest.raises(MPCRoutingError):
+            sim.communicate(lambda m: [evil] if m.mid == 0 else [])
+        # Nothing wrapped around to the last machine.
+        assert sim.machine(3).inbox == []
+
+    def test_pickle_roundtrip_skips_message_validation(self):
+        # Documents why the router-side check exists: pickle rebuilds
+        # frozen dataclasses without calling __post_init__.
+        import pickle
+
+        msg = pickle.loads(pickle.dumps(Message(1, (5,))))
+        hacked = Message.__new__(Message)
+        object.__setattr__(hacked, "dst", -2)
+        object.__setattr__(hacked, "payload", msg.payload)
+        assert pickle.loads(pickle.dumps(hacked)).dst == -2
+
     def test_send_budget_enforced(self):
         sim = small_sim(s=8)
         with pytest.raises(MPCViolationError):

@@ -1,0 +1,207 @@
+"""Trace layer: observer purity, exports, budget audit, cross-checks."""
+
+import json
+
+import pytest
+
+from repro.core.det_luby import (
+    conditional_expectation_chooser,
+    det_luby_mis,
+)
+from repro.graph import generators as gen
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.message import Message
+from repro.mpc.simulator import Simulator
+from repro.mpc.trace import TraceRecorder
+
+
+def run_det_luby(backend_name="serial", trace=False, workers=2):
+    graph = gen.gnp_random_graph(96, 8, 96, seed=7)
+    cfg = MPCConfig.sublinear(
+        graph.num_vertices, graph.num_edges, max_degree=graph.max_degree()
+    ).with_backend(backend_name, workers)
+    if trace:
+        cfg = cfg.with_trace()
+    with Simulator(cfg) as sim:
+        dg = DistributedGraph.load(sim, graph)
+        det_luby_mis(
+            dg,
+            in_set_key="mis",
+            chooser=conditional_expectation_chooser(chunk_bits=3),
+        )
+        members = dg.collect_marked("mis")
+    return members, sim.metrics, sim.trace
+
+
+class TestZeroCostWhenDisabled:
+    def test_trace_off_by_default(self):
+        sim = Simulator(MPCConfig(num_machines=2, memory_words=256))
+        assert sim.trace is None
+
+    def test_config_enables_trace(self):
+        cfg = MPCConfig(num_machines=2, memory_words=256).with_trace()
+        sim = Simulator(cfg)
+        assert isinstance(sim.trace, TraceRecorder)
+
+    def test_injected_recorder_overrides_config(self):
+        cfg = MPCConfig(num_machines=2, memory_words=256)
+        recorder = TraceRecorder(cfg)
+        sim = Simulator(cfg, trace=recorder)
+        assert sim.trace is recorder
+
+
+class TestObserverPurity:
+    """Traced and untraced runs must be bit-identical (the tentpole pin)."""
+
+    def test_identical_summary_and_members_serial(self):
+        plain_members, plain_metrics, no_trace = run_det_luby(trace=False)
+        traced_members, traced_metrics, trace = run_det_luby(trace=True)
+        assert no_trace is None
+        assert trace is not None
+        assert traced_members == plain_members
+        assert traced_metrics.summary() == plain_metrics.summary()
+
+    def test_identical_summary_and_members_process(self):
+        plain_members, plain_metrics, _ = run_det_luby("serial", trace=False)
+        traced_members, traced_metrics, trace = run_det_luby(
+            "process", trace=True
+        )
+        assert traced_members == plain_members
+        assert traced_metrics.summary() == plain_metrics.summary()
+        # Backend attribution rode along on the trace events.
+        assert any(
+            ev.get("backend") for ev in trace.events if ev["type"] == "round"
+        )
+
+
+class TestCrossChecks:
+    def test_round_words_sum_to_total_words(self):
+        _, metrics, trace = run_det_luby(trace=True)
+        assert trace.total_words() == metrics.total_words
+        assert [
+            ev["words"] for ev in trace.round_events()
+        ] == metrics.words_per_round
+        assert len(trace.round_events()) == metrics.rounds
+
+    def test_per_machine_rows_sum_to_round_words(self):
+        _, _, trace = run_det_luby(trace=True)
+        for ev in trace.round_events():
+            assert sum(ev["sent_per_machine"]) == ev["words"]
+            assert sum(ev["received_per_machine"]) == ev["words"]
+            assert max(ev["sent_per_machine"]) == ev["max_sent"]
+            assert max(ev["received_per_machine"]) == ev["max_received"]
+
+    def test_memory_peaks_match_metrics(self):
+        _, metrics, trace = run_det_luby(trace=True)
+        assert (
+            max(trace.machine_peak_words.values())
+            == metrics.peak_memory_words
+        )
+
+    def test_phase_marks_recorded(self):
+        _, metrics, trace = run_det_luby(trace=True)
+        traced_phases = [
+            ev["phase"] for ev in trace.events if ev["type"] == "phase"
+        ]
+        assert traced_phases == [mark.name for mark in metrics.phases]
+
+
+class TestJsonlExport:
+    def test_valid_jsonl_with_meta_and_summary(self, tmp_path):
+        _, metrics, trace = run_det_luby(trace=True)
+        path = tmp_path / "run.trace.jsonl"
+        trace.write_jsonl(path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "meta"
+        assert records[0]["memory_words"] == trace.config.memory_words
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["total_words"] == metrics.total_words
+        round_words = sum(
+            r["words"] for r in records if r["type"] == "round"
+        )
+        assert round_words == metrics.total_words
+
+    def test_headroom_never_exceeds_budget(self):
+        _, _, trace = run_det_luby(trace=True)
+        budget = trace.config.memory_words
+        for ev in trace.round_events():
+            assert 0 <= ev["headroom_words"] <= budget
+        assert trace.min_headroom_words() <= budget
+
+
+class TestChromeTraceExport:
+    def test_valid_json_with_monotone_timestamps(self, tmp_path):
+        _, _, trace = run_det_luby(trace=True)
+        path = tmp_path / "run.trace.json"
+        trace.write_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events, "chrome trace must not be empty"
+        last_ts = -1.0
+        for ev in events:
+            if ev["ph"] == "M":
+                continue
+            assert ev["ts"] >= last_ts, "timestamps must be monotone"
+            last_ts = ev["ts"]
+            if ev["ph"] == "X":
+                assert ev["dur"] > 0
+
+    def test_counters_present(self):
+        _, _, trace = run_det_luby(trace=True)
+        counters = {
+            ev["name"]
+            for ev in trace.chrome_trace_events()
+            if ev["ph"] == "C"
+        }
+        assert {"words sent", "budget headroom"} <= counters
+
+
+class TestBudgetAuditor:
+    def test_warns_before_hard_fault(self):
+        # A 2-machine ping with S=8: 5 of 8 words in one round crosses a
+        # 0.5 threshold but not the hard budget.
+        cfg = MPCConfig(
+            num_machines=2, memory_words=8
+        ).with_trace(warn_utilization=0.5)
+        sim = Simulator(cfg)
+        sim.communicate(
+            lambda m: [Message(1, (1, 2, 3, 4, 5))] if m.mid == 0 else []
+        )
+        sim.machine(1).clear_inbox()
+        kinds = {(w["kind"], w["machine"]) for w in sim.trace.warnings}
+        assert ("sent", 0) in kinds
+        assert ("received", 1) in kinds
+        for warning in sim.trace.warnings:
+            assert warning["utilization"] >= 0.5
+            assert warning["budget"] == 8
+
+    def test_quiet_below_threshold(self):
+        cfg = MPCConfig(num_machines=2, memory_words=256).with_trace()
+        sim = Simulator(cfg)
+        sim.communicate(
+            lambda m: [Message(1, (1,))] if m.mid == 0 else []
+        )
+        assert sim.trace.warnings == []
+
+    def test_format_warnings_human_readable(self):
+        cfg = MPCConfig(
+            num_machines=2, memory_words=8
+        ).with_trace(warn_utilization=0.5)
+        sim = Simulator(cfg)
+        sim.communicate(
+            lambda m: [Message(1, (1, 2, 3, 4, 5))] if m.mid == 0 else []
+        )
+        lines = sim.trace.format_warnings()
+        assert lines and all("words" in line for line in lines)
+
+    def test_invalid_threshold_rejected(self):
+        cfg = MPCConfig(num_machines=2, memory_words=256)
+        with pytest.raises(ValueError):
+            TraceRecorder(cfg, warn_utilization=0.0)
+        from repro.errors import MPCConfigError
+
+        with pytest.raises(MPCConfigError):
+            cfg.with_trace(warn_utilization=1.5)
