@@ -13,14 +13,111 @@ algorithms, and are reported only as a convenience.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.records import RunRecord
+from repro.analysis.sweep import (
+    Cell,
+    SweepSpec,
+    failures,
+    run_cells,
+    run_sweep,
+)
 from repro.mpc.metrics import RunMetrics
 from repro.mpc.trace import TraceRecorder
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def sweep_options(
+    jobs: Optional[int] = None,
+    resume: Optional[bool] = None,
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> Dict[str, object]:
+    """Sweep-engine execution options, overridable from the environment.
+
+    ``REPRO_SWEEP_JOBS`` / ``REPRO_SWEEP_RESUME`` / ``REPRO_SWEEP_RETRIES``
+    / ``REPRO_SWEEP_TIMEOUT`` parallelise or resume the whole E1–E11
+    suite without touching any driver (e.g. ``REPRO_SWEEP_JOBS=8 pytest
+    benchmarks/``).  Explicit keyword arguments win over the
+    environment.  Results are identical for every setting — the engine
+    emits records in deterministic grid order.
+    """
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "1"))
+    if resume is None:
+        resume = os.environ.get("REPRO_SWEEP_RESUME", "") not in ("", "0")
+    if retries is None:
+        retries = int(os.environ.get("REPRO_SWEEP_RETRIES", "0"))
+    if timeout is None:
+        raw = os.environ.get("REPRO_SWEEP_TIMEOUT", "")
+        timeout = float(raw) if raw else None
+    return {
+        "jobs": jobs, "resume": resume, "retries": retries,
+        "timeout": timeout,
+    }
+
+
+def require_complete(records: Sequence[RunRecord]) -> Sequence[RunRecord]:
+    """Raise if the sweep produced any structured failure records.
+
+    The benchmarks' tables and shape assertions assume every cell
+    succeeded; a failure record here means the experiment itself is
+    broken and must surface loudly, not render as a half-empty table.
+    """
+    failed = failures(records)
+    if failed:
+        detail = "; ".join(
+            f"{r.workload}/{r.algorithm}: {r.get('error_type')}: "
+            f"{r.get('error')}"
+            for r in failed
+        )
+        raise AssertionError(
+            f"{len(failed)}/{len(records)} sweep cells failed: {detail}"
+        )
+    return records
+
+
+def run_experiment(spec: SweepSpec, **overrides) -> List[RunRecord]:
+    """Run one experiment's sweep through the fault-tolerant engine.
+
+    Checkpoints incrementally to ``results/<experiment>.jsonl`` (the
+    same file :func:`save_records` historically wrote; it is compacted
+    to deterministic grid order when the sweep completes) and honours
+    the ``REPRO_SWEEP_*`` environment knobs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    records = run_sweep(
+        spec,
+        checkpoint=RESULTS_DIR / f"{spec.experiment}.jsonl",
+        **sweep_options(**overrides),
+    )
+    require_complete(records)
+    return records
+
+
+def run_experiment_cells(
+    experiment: str, cells: Sequence[Cell], **overrides
+) -> List[RunRecord]:
+    """:func:`run_experiment` for drivers with hand-built cells.
+
+    The anatomy/ablation experiments (E3, E7, E9–E11) don't fit the
+    workload × algorithm grid; they feed the same engine explicit
+    :class:`Cell` lists and get identical checkpoint/parallel/isolation
+    semantics.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    records = run_cells(
+        experiment,
+        cells,
+        checkpoint=RESULTS_DIR / f"{experiment}.jsonl",
+        **sweep_options(**overrides),
+    )
+    require_complete(records)
+    return records
 
 
 def timing_fields(metrics: RunMetrics) -> Dict[str, float]:

@@ -6,12 +6,18 @@ identical Luby engine (same estimator, same conditional expectations)
 solves it once the line graph is materialised in-model.  The table
 reports phases, rounds, matching sizes vs a sequential greedy matching,
 and the quadratic line-graph footprint the regime must fund.
+
+One sweep-engine cell per workload (the matching solver does not go
+through ``solve_ruling_set``, so the cells are built explicitly).
 """
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
+from functools import partial
+
+from benchmarks.bench_common import emit, run_experiment_cells
 from repro.analysis.records import RunRecord
+from repro.analysis.sweep import Cell
 from repro.analysis.tables import format_table
 from repro.core.det_matching import (
     det_maximal_matching,
@@ -43,39 +49,49 @@ def greedy_matching_size(graph) -> int:
 
 
 def run_matching(graph):
-    sim = Simulator(matching_config(graph))
-    dg = DistributedGraph.load(sim, graph)
-    matching, counters = det_maximal_matching(dg)
+    with Simulator(matching_config(graph)) as sim:
+        dg = DistributedGraph.load(sim, graph)
+        matching, counters = det_maximal_matching(dg)
     verify_maximal_matching(graph, matching)
     return matching, counters, sim
 
 
+def matching_cell(name: str) -> RunRecord:
+    """One pure cell: verified maximal matching on one workload."""
+    graph = WORKLOADS[name]()
+    matching, counters, sim = run_matching(graph)
+    greedy = greedy_matching_size(graph)
+    # Any maximal matching is at least half the maximum one, and the
+    # greedy is maximal too, so sizes stay within a factor of two.
+    assert 2 * len(matching) >= greedy
+    return RunRecord(
+        "e11_matching", name, "det-matching",
+        {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "line_words": line_graph_words(graph),
+            "matching_size": len(matching),
+            "greedy_size": greedy,
+            "rounds": sim.metrics.rounds,
+            "luby_phases": counters["phases"],
+            "memory_words": sim.config.memory_words,
+            "peak_memory_words": sim.metrics.peak_memory_words,
+        },
+    )
+
+
 def test_e11_matching(benchmark):
-    records = []
-    for name in sorted(WORKLOADS):
-        graph = WORKLOADS[name]()
-        matching, counters, sim = run_matching(graph)
-        greedy = greedy_matching_size(graph)
-        records.append(
-            RunRecord(
-                "e11_matching", name, "det-matching",
-                {
-                    "n": graph.num_vertices,
-                    "m": graph.num_edges,
-                    "line_words": line_graph_words(graph),
-                    "matching_size": len(matching),
-                    "greedy_size": greedy,
-                    "rounds": sim.metrics.rounds,
-                    "luby_phases": counters["phases"],
-                    "memory_words": sim.config.memory_words,
-                    "peak_memory_words": sim.metrics.peak_memory_words,
-                },
+    records = run_experiment_cells(
+        "e11_matching",
+        [
+            Cell(
+                key=f"{name}/det-matching",
+                runner=partial(matching_cell, name),
+                workload=name, algorithm="det-matching",
             )
-        )
-        # Any maximal matching is at least half the maximum one, and the
-        # greedy is maximal too, so sizes stay within a factor of two.
-        assert 2 * len(matching) >= greedy
-    save_records("e11_matching", records)
+            for name in sorted(WORKLOADS)
+        ],
+    )
     emit(
         "e11_matching",
         format_table(

@@ -10,8 +10,8 @@ power-law graphs; columns: rounds for det/rand × ruling/luby.
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
-from repro.analysis.sweep import SweepSpec, run_sweep
+from benchmarks.bench_common import emit, run_experiment
+from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.pipeline import solve_ruling_set
 from repro.graph import generators as gen
@@ -40,8 +40,7 @@ def test_e1_rounds_table(benchmark):
         beta=2,
         regime="sublinear",
     )
-    records = run_sweep(spec)
-    save_records("e1_rounds_table", records)
+    records = run_experiment(spec)
     table = format_table(
         records,
         columns=[

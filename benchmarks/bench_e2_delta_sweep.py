@@ -9,35 +9,42 @@ Workload: circulant regular graphs, n = 512, Δ ∈ {8, 16, 32, 64, 128}.
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
-from repro.analysis.records import record_from_result
+from benchmarks.bench_common import emit, run_experiment
+from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_series, format_table
 from repro.core.pipeline import solve_ruling_set
 from repro.graph import generators as gen
 
 N = 512
 DEGREES = [8, 16, 32, 64, 128]
+ALGORITHMS = ["det-ruling", "det-luby"]
+
+
+def workload_grid():
+    return {
+        f"regular-{degree:03d}": (
+            lambda degree=degree: gen.regular_graph(N, degree)
+        )
+        for degree in DEGREES
+    }
 
 
 def test_e2_delta_sweep(benchmark):
-    records = []
-    series = {"det-ruling": [], "det-luby": []}
-    for degree in DEGREES:
-        graph = gen.regular_graph(N, degree)
-        for algorithm in ("det-ruling", "det-luby"):
-            result = solve_ruling_set(
-                graph, algorithm=algorithm, regime="sublinear"
-            )
-            records.append(
-                record_from_result(
-                    "e2_delta_sweep",
-                    f"regular-{degree:03d}",
-                    result,
-                    {"n": N, "max_degree": degree},
-                )
-            )
-            series[algorithm].append((degree, result.rounds))
-    save_records("e2_delta_sweep", records)
+    spec = SweepSpec(
+        experiment="e2_delta_sweep",
+        workloads=workload_grid(),
+        algorithms=ALGORITHMS,
+        regime="sublinear",
+    )
+    records = run_experiment(spec)
+    series = {
+        algorithm: sorted(
+            (r.get("max_degree"), r.get("rounds"))
+            for r in records
+            if r.algorithm == algorithm
+        )
+        for algorithm in ALGORITHMS
+    }
     text = format_table(
         records,
         columns=["workload", "algorithm", "max_degree", "rounds", "size"],

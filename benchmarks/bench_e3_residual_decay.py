@@ -6,12 +6,18 @@ active edge count decays at a steady geometric rate — the derandomization
 preserves randomized Luby's progress rather than merely terminating.
 
 Workload: Erdős–Rényi n = 512 (expected degree 16); the series records
-(phase, active vertices, active edges) until exhaustion.
+(phase, active vertices, active edges) until exhaustion.  The per-phase
+series is stored in the cell's record as JSON strings so the experiment
+rides the checkpointing sweep engine like every grid sweep.
 """
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit
+import json
+
+from benchmarks.bench_common import emit, run_experiment_cells
+from repro.analysis.records import RunRecord
+from repro.analysis.sweep import Cell
 from repro.analysis.tables import format_series
 from repro.core.det_luby import det_luby_mis
 from repro.core.verify import verify_ruling_set
@@ -25,30 +31,62 @@ def run_traced(graph):
     cfg = MPCConfig.sublinear(
         graph.num_vertices, graph.num_edges, max_degree=graph.max_degree()
     )
-    sim = Simulator(cfg)
-    dg = DistributedGraph.load(sim, graph)
-    trace = []
-    det_luby_mis(dg, in_set_key="mis", trace=trace)
-    members = dg.collect_marked("mis")
+    with Simulator(cfg) as sim:
+        dg = DistributedGraph.load(sim, graph)
+        trace = []
+        det_luby_mis(dg, in_set_key="mis", trace=trace)
+        members = dg.collect_marked("mis")
     verify_ruling_set(graph, members, alpha=2, beta=1)
     return trace
 
 
-def test_e3_residual_decay(benchmark):
-    graph = gen.gnp_random_graph(512, 16, 512, seed=77)
+def decay_cell(n: int, seed: int) -> RunRecord:
+    """One pure cell: trace the phase-by-phase residual graph."""
+    graph = gen.gnp_random_graph(n, 16, n, seed=seed)
     trace = run_traced(graph)
+    return RunRecord(
+        "e3_residual_decay", f"er-{n:04d}", "det-luby",
+        {
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "phases": len(trace),
+            "series_vertices": json.dumps(
+                [[phase, n_act] for phase, n_act, _ in trace]
+            ),
+            "series_edges": json.dumps(
+                [[phase, m_act] for phase, _, m_act in trace]
+            ),
+        },
+    )
+
+
+def test_e3_residual_decay(benchmark):
+    records = run_experiment_cells(
+        "e3_residual_decay",
+        [
+            Cell(
+                key="er-0512/det-luby", runner=decay_cell, args=(512, 77),
+                workload="er-0512", algorithm="det-luby",
+            )
+        ],
+    )
+    record = records[0]
     series = {
-        "active-vertices": [(phase, n) for phase, n, _ in trace],
-        "active-edges": [(phase, m) for phase, _, m in trace],
+        "active-vertices": [
+            tuple(point) for point in json.loads(record.get("series_vertices"))
+        ],
+        "active-edges": [
+            tuple(point) for point in json.loads(record.get("series_edges"))
+        ],
     }
     text = format_series(
         series, "phase", "count",
         title="E3: residual graph per derandomized Luby phase "
-        f"(ER n={graph.num_vertices}, m={graph.num_edges})",
+        f"(ER n={record.get('n')}, m={record.get('m')})",
     )
 
     # Measured decay factor per phase on the edge series.
-    edges = [m for _, _, m in trace if m > 0]
+    edges = [m for _, m in series["active-edges"] if m > 0]
     ratios = [b / a for a, b in zip(edges, edges[1:])]
     text += "\n\nper-phase edge ratios: " + "  ".join(
         f"{r:.3f}" for r in ratios

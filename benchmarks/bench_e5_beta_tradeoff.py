@@ -4,38 +4,42 @@ Claim exhibited: allowing a larger domination radius β buys additional
 sparsification levels, shrinking the subgraph that must be solved exactly
 — the structural reason β-ruling sets beat MIS in MPC.  The series
 reports rounds and the deepest-level solve method per β.
+
+β is a first-class grid axis of the sweep engine (``SweepSpec.betas``),
+so the three cells checkpoint, parallelise, and resume like any sweep.
 """
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
-from repro.analysis.records import record_from_result
+from benchmarks.bench_common import emit, run_experiment
+from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_series, format_table
 from repro.core.pipeline import solve_ruling_set
 from repro.graph import generators as gen
 
 BETAS = [2, 3, 4]
+N = 512
 
 
 def test_e5_beta_tradeoff(benchmark):
-    graph = gen.gnp_random_graph(512, 24, 512, seed=55)
-    records = []
-    series = {"det-ruling-rounds": [], "levels-built": []}
-    for beta in BETAS:
-        result = solve_ruling_set(
-            graph, algorithm="det-ruling", beta=beta, regime="sublinear"
-        )
-        records.append(
-            record_from_result(
-                "e5_beta_tradeoff", f"beta-{beta}", result,
-                {"beta": beta, "n": graph.num_vertices},
-            )
-        )
-        series["det-ruling-rounds"].append((beta, result.rounds))
-        series["levels-built"].append(
-            (beta, result.metrics["alg_levels_built"])
-        )
-    save_records("e5_beta_tradeoff", records)
+    spec = SweepSpec(
+        experiment="e5_beta_tradeoff",
+        workloads={
+            f"er-{N}": lambda: gen.gnp_random_graph(N, 24, N, seed=55)
+        },
+        algorithms=["det-ruling"],
+        betas=BETAS,
+        regime="sublinear",
+    )
+    records = run_experiment(spec)
+    series = {
+        "det-ruling-rounds": [
+            (r.get("beta"), r.get("rounds")) for r in records
+        ],
+        "levels-built": [
+            (r.get("beta"), r.get("alg_levels_built")) for r in records
+        ],
+    }
     text = format_table(
         records,
         columns=[
@@ -43,8 +47,8 @@ def test_e5_beta_tradeoff(benchmark):
             "alg_levels_built", "alg_level_gathers",
             "alg_level_luby_solves", "alg_seed_candidates",
         ],
-        title=f"E5: beta trade-off (ER n={graph.num_vertices}, "
-        f"m={graph.num_edges})",
+        title=f"E5: beta trade-off (ER n={records[0].get('n')}, "
+        f"m={records[0].get('m')})",
     )
     text += "\n\n" + format_series(
         series, "beta", "value", title="E5 series (figure form)"
@@ -55,6 +59,7 @@ def test_e5_beta_tradeoff(benchmark):
     levels = dict(series["levels-built"])
     assert levels[4] >= levels[2]
 
+    graph = gen.gnp_random_graph(N, 24, N, seed=55)
     benchmark.pedantic(
         lambda: solve_ruling_set(
             graph, algorithm="det-ruling", beta=3, regime="sublinear"

@@ -4,12 +4,16 @@ Claim exhibited: shrinking per-machine memory S (larger machine counts,
 smaller gather thresholds) costs rounds — the gather endgame triggers
 later, reductions get deeper trees, and seed searches take more chunks.
 This is the regime lever the MPC literature's α parameter controls.
+
+The regime axis is a first-class sweep dimension (``SweepSpec.regimes``
+carries ``(label, regime, alpha_mem)`` triples), so the 8 cells ride the
+checkpointing engine.
 """
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
-from repro.analysis.records import record_from_result
+from benchmarks.bench_common import emit, run_experiment
+from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.pipeline import solve_ruling_set
 from repro.graph import generators as gen
@@ -21,49 +25,42 @@ REGIMES = [
     ("near-linear", "near-linear", (1, 1)),
 ]
 
+N = 1024
+
 
 def test_e6_memory_regimes(benchmark):
     # Sparse and large so the α axis actually moves S: with a dense or
     # small graph the Ω(Δ) and k<=S/4 floors flatten the sweep.
-    graph = gen.gnp_random_graph(1024, 8, 1024, seed=66)
-    records = []
-    for label, regime, alpha in REGIMES:
-        for algorithm in ("det-ruling", "det-luby"):
-            result = solve_ruling_set(
-                graph,
-                algorithm=algorithm,
-                regime=regime,
-                alpha_mem=alpha,
-            )
-            records.append(
-                record_from_result(
-                    "e6_memory_regimes", label, result,
-                    {"n": graph.num_vertices},
-                )
-            )
-    save_records("e6_memory_regimes", records)
+    spec = SweepSpec(
+        experiment="e6_memory_regimes",
+        workloads={f"er-{N}": lambda: gen.gnp_random_graph(N, 8, N, seed=66)},
+        algorithms=["det-ruling", "det-luby"],
+        regimes=REGIMES,
+    )
+    records = run_experiment(spec)
     emit(
         "e6_memory_regimes",
         format_table(
             records,
             columns=[
-                "workload", "algorithm", "memory_words", "num_machines",
+                "regime", "algorithm", "memory_words", "num_machines",
                 "rounds", "peak_memory_words", "alg_gather_finishes",
             ],
-            title=f"E6: regime sweep (ER n={graph.num_vertices}, "
-            f"m={graph.num_edges})",
+            title=f"E6: regime sweep (ER n={records[0].get('n')}, "
+            f"m={records[0].get('m')})",
         ),
     )
 
     # Shape: more memory per machine must not increase det-ruling rounds
     # beyond noise — compare the extremes.
     det = {
-        r.workload: r.get("rounds")
+        r.get("regime"): r.get("rounds")
         for r in records
         if r.algorithm == "det-ruling"
     }
     assert det["near-linear"] <= 2 * det["alpha-1/2"]
 
+    graph = gen.gnp_random_graph(N, 8, N, seed=66)
     benchmark.pedantic(
         lambda: solve_ruling_set(
             graph, algorithm="det-ruling", regime="sublinear",

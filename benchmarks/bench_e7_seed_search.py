@@ -10,11 +10,18 @@ Claims exhibited (the ablation DESIGN.md calls out):
   size+coverage targets;
 * both mechanisms' committed seeds certify their bounds (re-checked here
   against the sequential estimator).
+
+One cell per input size, driven through the sweep engine (isolation +
+checkpointing), with the anatomy counters landing as record fields.
 """
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit
+from functools import partial
+
+from benchmarks.bench_common import emit, run_experiment_cells
+from repro.analysis.records import RunRecord
+from repro.analysis.sweep import Cell
 from repro.analysis.tables import format_series
 from repro.core.det_luby import modulus_for
 from repro.core.pipeline import solve_ruling_set
@@ -44,33 +51,55 @@ def luby_estimator_for(graph):
     return est, p
 
 
-def test_e7_seed_search(benchmark):
-    series = {
-        "multipliers-scanned": [],
-        "bits-fixed": [],
-        "achieved-over-expectation-pct": [],
-        "ruling-scan-candidates": [],
-    }
-    for n in SIZES:
-        graph = gen.gnp_random_graph(n, 12, n, seed=n)
-        est, p = luby_estimator_for(graph)
-        seed, stats = choose_seed(est)
-        series["multipliers-scanned"].append(
-            (n, stats.a_candidates_scanned)
-        )
-        series["bits-fixed"].append((n, stats.bits_fixed))
-        expectation = stats.expectation_x_p2 / (p * p)
-        series["achieved-over-expectation-pct"].append(
-            (n, round(100 * stats.achieved_value / max(1e-9, expectation)))
-        )
-        assert stats.achieved_value * p * p >= stats.expectation_x_p2
+def anatomy_cell(n: int) -> RunRecord:
+    """One pure cell: seed-selection anatomy at input size ``n``."""
+    graph = gen.gnp_random_graph(n, 12, n, seed=n)
+    est, p = luby_estimator_for(graph)
+    seed, stats = choose_seed(est)
+    assert stats.achieved_value * p * p >= stats.expectation_x_p2
+    expectation = stats.expectation_x_p2 / (p * p)
+    result = solve_ruling_set(
+        graph, algorithm="det-ruling", regime="sublinear"
+    )
+    return RunRecord(
+        "e7_seed_search", f"er-{n:04d}", "det-ruling",
+        {
+            "n": n,
+            "multipliers_scanned": stats.a_candidates_scanned,
+            "bits_fixed": stats.bits_fixed,
+            "achieved_over_expectation_pct": round(
+                100 * stats.achieved_value / max(1e-9, expectation)
+            ),
+            "ruling_scan_candidates": result.metrics["alg_seed_candidates"],
+        },
+    )
 
-        result = solve_ruling_set(
-            graph, algorithm="det-ruling", regime="sublinear"
-        )
-        series["ruling-scan-candidates"].append(
-            (n, result.metrics["alg_seed_candidates"])
-        )
+
+def test_e7_seed_search(benchmark):
+    records = run_experiment_cells(
+        "e7_seed_search",
+        [
+            Cell(
+                key=f"er-{n:04d}/det-ruling",
+                runner=partial(anatomy_cell, n),
+                workload=f"er-{n:04d}", algorithm="det-ruling",
+            )
+            for n in SIZES
+        ],
+    )
+    series = {
+        "multipliers-scanned": [
+            (r.get("n"), r.get("multipliers_scanned")) for r in records
+        ],
+        "bits-fixed": [(r.get("n"), r.get("bits_fixed")) for r in records],
+        "achieved-over-expectation-pct": [
+            (r.get("n"), r.get("achieved_over_expectation_pct"))
+            for r in records
+        ],
+        "ruling-scan-candidates": [
+            (r.get("n"), r.get("ruling_scan_candidates")) for r in records
+        ],
+    }
     text = format_series(
         series, "n", "value",
         title="E7: seed-selection cost anatomy "

@@ -17,13 +17,15 @@ Claims exhibited:
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
-from repro.analysis.records import record_from_result
+from benchmarks.bench_common import emit, run_experiment
+from repro.analysis.records import RunRecord, record_from_result
+from repro.analysis.sweep import SweepCell, SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.exponentiation import grow_balls
 from repro.core.pipeline import solve_ruling_set
 from repro.core.verify import check_ruling_set
 from repro.graph import generators as gen
+from repro.graph.graph import Graph
 from repro.mpc.config import MPCConfig
 from repro.mpc.graph_store import DistributedGraph
 from repro.mpc.simulator import Simulator
@@ -40,34 +42,36 @@ ALGORITHMS = [
 ]
 
 
+def baseline_cell(graph: Graph, cell: SweepCell, extra) -> RunRecord:
+    """Solve and attribute rounds to the model the algorithm runs in."""
+    result = solve_ruling_set(
+        graph, algorithm=cell.algorithm, regime=cell.regime, seed=cell.seed
+    )
+    measured = check_ruling_set(graph, result.members)
+    fields = dict(extra)
+    fields.update(
+        {
+            "model_rounds": result.metrics.get(
+                "local_rounds", result.rounds
+            ),
+            "model": (
+                "LOCAL" if cell.algorithm.startswith("local") else "MPC"
+            ),
+            "measured_beta": measured.measured_beta,
+        }
+    )
+    return record_from_result(cell.experiment, cell.workload, result, fields)
+
+
 def test_e8_local_baselines(benchmark):
-    records = []
-    for name in sorted(WORKLOADS):
-        graph = WORKLOADS[name]()
-        for algorithm in ALGORITHMS:
-            result = solve_ruling_set(
-                graph, algorithm=algorithm, regime="sublinear"
-            )
-            measured = check_ruling_set(graph, result.members)
-            rounds = (
-                result.metrics.get("local_rounds", result.rounds)
-            )
-            records.append(
-                record_from_result(
-                    "e8_local_baselines", name, result,
-                    {
-                        "n": graph.num_vertices,
-                        "model_rounds": rounds,
-                        "model": (
-                            "LOCAL"
-                            if algorithm.startswith("local")
-                            else "MPC"
-                        ),
-                        "measured_beta": measured.measured_beta,
-                    },
-                )
-            )
-    save_records("e8_local_baselines", records)
+    spec = SweepSpec(
+        experiment="e8_local_baselines",
+        workloads=WORKLOADS,
+        algorithms=ALGORITHMS,
+        regime="sublinear",
+        cell_runner=baseline_cell,
+    )
+    records = run_experiment(spec)
     text = format_table(
         records,
         columns=[
@@ -80,12 +84,13 @@ def test_e8_local_baselines(benchmark):
     # Exponentiation demo: radius-4 balls on a bounded-degree graph in
     # O(log 4) doublings rather than 4 LOCAL rounds.
     grid = gen.grid_graph(12, 12)
-    sim = Simulator(MPCConfig(num_machines=6, memory_words=60_000))
-    dg = DistributedGraph.load(sim, grid)
-    doublings = grow_balls(dg, 4)
+    with Simulator(MPCConfig(num_machines=6, memory_words=60_000)) as sim:
+        dg = DistributedGraph.load(sim, grid)
+        doublings = grow_balls(dg, 4)
+        rounds = sim.metrics.rounds
     text += (
         f"\n\nexponentiation: radius-4 balls on a 12x12 grid via "
-        f"{doublings} doublings, {sim.metrics.rounds} MPC rounds"
+        f"{doublings} doublings, {rounds} MPC rounds"
     )
     emit("e8_local_baselines", text)
     assert doublings == 2

@@ -6,12 +6,18 @@ independence radius α is bought by running the same engine on
 verifies the guarantee chain — claimed domination ``β(α-1)``, measured
 radius typically smaller — and prices the exponentiation in rounds and
 memory (the real cost: power graphs densify).
+
+One sweep-engine cell per α (the independence radius is not a standard
+grid axis, so the cells are built explicitly).
 """
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, save_records
-from repro.analysis.records import record_from_result
+from functools import partial
+
+from benchmarks.bench_common import emit, run_experiment_cells
+from repro.analysis.records import RunRecord, record_from_result
+from repro.analysis.sweep import Cell
 from repro.analysis.tables import format_table
 from repro.core.pipeline import solve_ruling_set
 from repro.core.verify import check_ruling_set
@@ -19,33 +25,44 @@ from repro.graph import generators as gen
 from repro.graph.ops import power_graph
 
 ALPHAS = [2, 3, 4]
+N = 300
+
+
+def alpha_cell(alpha: int) -> RunRecord:
+    """One pure cell: the (α, 2)-ruling set on the fixed tree workload."""
+    graph = gen.random_tree(N, seed=9)
+    result = solve_ruling_set(
+        graph, algorithm="det-ruling", alpha=alpha, beta=2,
+        regime="near-linear",
+    )
+    measured = check_ruling_set(graph, result.members, alpha=alpha)
+    assert measured.independent_at == alpha
+    assert measured.measured_beta <= result.beta
+    power = power_graph(graph, alpha - 1)
+    return record_from_result(
+        "e9_alpha_extension", f"alpha-{alpha}", result,
+        {
+            "alpha": alpha,
+            "n": graph.num_vertices,
+            "power_edges": power.num_edges,
+            "measured_beta": measured.measured_beta,
+            "independent_at": measured.independent_at,
+        },
+    )
 
 
 def test_e9_alpha_extension(benchmark):
-    graph = gen.random_tree(300, seed=9)
-    records = []
-    for alpha in ALPHAS:
-        result = solve_ruling_set(
-            graph, algorithm="det-ruling", alpha=alpha, beta=2,
-            regime="near-linear",
-        )
-        measured = check_ruling_set(graph, result.members, alpha=alpha)
-        power = power_graph(graph, alpha - 1)
-        records.append(
-            record_from_result(
-                "e9_alpha_extension", f"alpha-{alpha}", result,
-                {
-                    "alpha": alpha,
-                    "n": graph.num_vertices,
-                    "power_edges": power.num_edges,
-                    "measured_beta": measured.measured_beta,
-                    "independent_at": measured.independent_at,
-                },
+    records = run_experiment_cells(
+        "e9_alpha_extension",
+        [
+            Cell(
+                key=f"alpha-{alpha}/det-ruling",
+                runner=partial(alpha_cell, alpha),
+                workload=f"alpha-{alpha}", algorithm="det-ruling",
             )
-        )
-        assert measured.independent_at == alpha
-        assert measured.measured_beta <= result.beta
-    save_records("e9_alpha_extension", records)
+            for alpha in ALPHAS
+        ],
+    )
     emit(
         "e9_alpha_extension",
         format_table(
@@ -55,11 +72,11 @@ def test_e9_alpha_extension(benchmark):
                 "measured_beta", "rounds", "power_edges",
                 "peak_memory_words", "memory_words",
             ],
-            title=f"E9: alpha extension on a random tree "
-            f"(n={graph.num_vertices}, m={graph.num_edges})",
+            title=f"E9: alpha extension on a random tree (n={N})",
         ),
     )
 
+    graph = gen.random_tree(N, seed=9)
     benchmark.pedantic(
         lambda: solve_ruling_set(
             graph, algorithm="det-ruling", alpha=3, beta=2,

@@ -35,9 +35,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from functools import partial
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from repro.analysis.records import RunRecord
+from repro.analysis.sweep import Cell, failures, run_cells
 from repro.core.det_luby import (
     conditional_expectation_chooser,
     det_luby_mis,
@@ -51,10 +54,10 @@ from repro.mpc.simulator import Simulator
 
 BASELINE_PATH = Path(__file__).resolve().parent / "results" / "ci_baseline.json"
 
-Cell = Tuple[Dict[str, int], float]  # (exact model quantities, wall seconds)
+Measurement = Tuple[Dict[str, int], float]  # (exact quantities, wall seconds)
 
 
-def run_e1_small(algorithm: str) -> Cell:
+def run_e1_small(algorithm: str) -> Measurement:
     """E1's smallest row: one verified solve on ER n=256."""
     graph = gen.gnp_random_graph(256, 12, 256, seed=256)
     result = solve_ruling_set(
@@ -69,20 +72,20 @@ def run_e1_small(algorithm: str) -> Cell:
     return exact, result.wall_time_s
 
 
-def run_e10_chunk(chunk_bits: int) -> Cell:
+def run_e10_chunk(chunk_bits: int) -> Measurement:
     """E10's chunk ablation at n=256: det-luby with a fixed chunk width."""
     graph = gen.gnp_random_graph(256, 12, 256, seed=10)
     cfg = MPCConfig.sublinear(
         graph.num_vertices, graph.num_edges, max_degree=graph.max_degree()
     )
-    sim = Simulator(cfg)
-    dg = DistributedGraph.load(sim, graph)
-    det_luby_mis(
-        dg,
-        in_set_key="mis",
-        chooser=conditional_expectation_chooser(chunk_bits=chunk_bits),
-    )
-    members = dg.collect_marked("mis")
+    with Simulator(cfg) as sim:
+        dg = DistributedGraph.load(sim, graph)
+        det_luby_mis(
+            dg,
+            in_set_key="mis",
+            chooser=conditional_expectation_chooser(chunk_bits=chunk_bits),
+        )
+        members = dg.collect_marked("mis")
     verify_ruling_set(graph, members, alpha=2, beta=1)
     exact = {
         "rounds": sim.metrics.rounds,
@@ -96,29 +99,62 @@ def run_e10_chunk(chunk_bits: int) -> Cell:
 
 
 CELLS = {
-    "e1_small_det_ruling": lambda: run_e1_small("det-ruling"),
-    "e1_small_det_luby": lambda: run_e1_small("det-luby"),
-    "e10_chunk1_n256": lambda: run_e10_chunk(1),
-    "e10_chunk4_n256": lambda: run_e10_chunk(4),
+    "e1_small_det_ruling": partial(run_e1_small, "det-ruling"),
+    "e1_small_det_luby": partial(run_e1_small, "det-luby"),
+    "e10_chunk1_n256": partial(run_e10_chunk, 1),
+    "e10_chunk4_n256": partial(run_e10_chunk, 4),
 }
 
 
-def measure(repeats: int) -> Dict[str, Dict[str, float]]:
-    """Run every cell; exact fields must agree across repeats."""
+def measure_cell(name: str) -> RunRecord:
+    """One gate cell as a sweep-engine record (simulator wall in meta)."""
+    exact, seconds = CELLS[name]()
+    record = RunRecord("ci_regression", name, "gate", dict(exact))
+    record.meta["sim_wall_s"] = seconds
+    return record
+
+
+def measure(repeats: int, jobs: int = 1) -> Dict[str, Dict[str, float]]:
+    """Run every cell through the sweep engine.
+
+    Each named cell runs ``repeats`` times (all repeats are independent
+    engine cells, so ``--jobs`` parallelises across them); the exact
+    model quantities must agree across repeats and the best simulator
+    wall-clock is kept.
+    """
+    cells = [
+        Cell(
+            key=f"{name}#r{rep}",
+            runner=measure_cell,
+            args=(name,),
+            workload=name,
+            algorithm="gate",
+        )
+        for name in CELLS
+        for rep in range(max(1, repeats))
+    ]
+    records = run_cells("ci_regression", cells, jobs=jobs)
+    failed = failures(records)
+    if failed:
+        for record in failed:
+            print(
+                f"  CELL FAILED {record.workload}: "
+                f"{record.get('error_type')}: {record.get('error')}"
+            )
+        raise SystemExit(1)
     results: Dict[str, Dict[str, float]] = {}
-    for name, runner in CELLS.items():
-        best_time = None
-        exact_reference = None
-        for _ in range(max(1, repeats)):
-            exact, seconds = runner()
-            if exact_reference is None:
-                exact_reference = exact
-            elif exact != exact_reference:
+    for name in CELLS:
+        repeats_for_name = [r for r in records if r.workload == name]
+        exact_reference = repeats_for_name[0].fields
+        for record in repeats_for_name[1:]:
+            if record.fields != exact_reference:
                 raise AssertionError(
                     f"cell {name} is not deterministic across repeats: "
-                    f"{exact} != {exact_reference}"
+                    f"{record.fields} != {exact_reference}"
                 )
-            best_time = seconds if best_time is None else min(best_time, seconds)
+        best_time = min(
+            r.meta["sim_wall_s"] for r in repeats_for_name
+        )
         row: Dict[str, float] = dict(exact_reference)
         row["wall_time_s"] = round(best_time, 4)
         results[name] = row
@@ -219,6 +255,12 @@ def main(argv=None) -> int:
         help="timing repeats per cell; best time is kept (default 3)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the measurement cells (wall-clock "
+        "numbers from parallel runs are noisier; model quantities are "
+        "identical by the sweep engine's determinism contract)",
+    )
+    parser.add_argument(
         "--trace-out", type=Path, default=None,
         help="also run one traced cell and write its JSONL trace here "
         "(uploaded as a CI artifact for budget-headroom inspection)",
@@ -226,7 +268,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     print(f"running {len(CELLS)} regression cells ...")
-    measured = measure(args.repeats)
+    measured = measure(args.repeats, jobs=args.jobs)
 
     if args.write_baseline:
         payload = {

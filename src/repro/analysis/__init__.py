@@ -7,13 +7,28 @@ series that EXPERIMENTS.md reports (:mod:`~repro.analysis.tables`).
 """
 
 from repro.analysis.records import RunRecord, record_from_result
-from repro.analysis.sweep import SweepSpec, run_sweep
+from repro.analysis.sweep import (
+    Cell,
+    SweepCell,
+    SweepSpec,
+    failures,
+    load_checkpoint,
+    load_records,
+    run_cells,
+    run_sweep,
+)
 from repro.analysis.tables import format_series, format_table
 
 __all__ = [
     "RunRecord",
     "record_from_result",
+    "Cell",
+    "SweepCell",
     "SweepSpec",
+    "failures",
+    "load_checkpoint",
+    "load_records",
+    "run_cells",
     "run_sweep",
     "format_table",
     "format_series",

@@ -18,12 +18,21 @@ Value = Union[int, float, str]
 
 @dataclass
 class RunRecord:
-    """One experiment row: identifying fields plus measurements."""
+    """One experiment row: identifying fields plus measurements.
+
+    ``fields`` holds the deterministic (model) quantities and is what
+    :meth:`to_json` serialises.  ``meta`` holds run observability —
+    per-cell wall-clock, worker attribution, attempt count — which the
+    sweep engine stamps on; it is excluded from equality and from
+    :meth:`to_json` because identical cells must compare equal across
+    serial, parallel, and resumed sweeps (see DESIGN.md).
+    """
 
     experiment: str
     workload: str
     algorithm: str
     fields: Dict[str, Value] = field(default_factory=dict)
+    meta: Dict[str, Value] = field(default_factory=dict, compare=False)
 
     def get(self, key: str, default: Value = 0) -> Value:
         """Measurement accessor with default."""

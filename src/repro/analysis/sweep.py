@@ -1,27 +1,115 @@
-"""Parameter sweep driver.
+"""Fault-tolerant parallel sweep engine.
 
-A :class:`SweepSpec` names the workload grid (graph factories keyed by
-label) and the algorithm/regime list; :func:`run_sweep` executes the full
-product, verifying every output, and returns the records.  All benchmark
-tables are produced by this one driver so the measurement methodology is
-identical across experiments.
+Every number EXPERIMENTS.md reports flows through this one driver, so it
+carries the measurement methodology for the whole suite:
+
+* **Deterministic grid order.**  A :class:`SweepSpec` names a grid of
+  workloads × algorithms (× betas × regimes); the grid enumerates in a
+  fixed sorted order and results are emitted in that order *regardless
+  of completion order*, so serial and parallel sweeps produce identical
+  record streams (pinned by test).
+* **Parallel execution.**  ``run_sweep(spec, jobs=N)`` executes cells
+  in up to ``N`` worker processes.  Each cell is a pure function of its
+  inputs (graph, algorithm, beta, regime, seed), which is what makes
+  process fan-out safe.
+* **Per-cell isolation.**  A cell that raises produces a *structured
+  failure record* (``status="failed"`` plus the exception type/message
+  and the cell key) instead of killing the sweep; the remaining cells
+  still run.  ``retries`` re-runs flaky cells, ``timeout`` bounds a
+  cell's wall-clock (enforced by running cells in killable worker
+  processes).
+* **Checkpoint / resume.**  With ``checkpoint=<path>`` every finished
+  cell is appended to the JSONL file (flushed and fsynced, so a killed
+  sweep loses at most the in-flight cells).  ``resume=True`` loads the
+  completed cells from the checkpoint and skips them; failed cells are
+  re-run.  When the sweep completes, the checkpoint is compacted into
+  deterministic grid order, so a kill-and-resume run converges to the
+  exact file an uninterrupted run writes (modulo the ``_meta``
+  observability keys, which carry wall-clock and worker attribution
+  and are excluded from the determinism contract — see DESIGN.md).
+
+The lower-level :func:`run_cells` drives arbitrary cells (anything that
+returns a :class:`~repro.analysis.records.RunRecord`) through the same
+scheduler; the anatomy/ablation benchmarks and the CI regression gate
+use it directly.  For ``jobs > 1`` (or a ``timeout``) cell runners must
+be picklable — module-level functions or :func:`functools.partial` of
+them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+import json
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.analysis.records import RunRecord, record_from_result
 from repro.core.pipeline import solve_ruling_set
+from repro.errors import SweepError
 from repro.graph.graph import Graph
 
 GraphFactory = Callable[[], Graph]
 
+#: A regime axis entry: either a plain regime name, or a
+#: ``(label, regime, (p, q))`` triple carrying the memory exponent
+#: ``alpha = p/q`` (E6 sweeps these).
+RegimeSpec = Union[str, Tuple[str, str, Tuple[int, int]]]
+
+FAILED = "failed"
+
+_ERROR_CHARS = 500  # failure records stay one readable JSONL line
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """The pure inputs of one grid cell (everything but the graph)."""
+
+    experiment: str
+    workload: str
+    algorithm: str
+    beta: int
+    regime: str
+    regime_label: str
+    alpha_mem: Tuple[int, int]
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for checkpointing and resume."""
+        return (
+            f"{self.workload}/{self.algorithm}/beta={self.beta}"
+            f"/regime={self.regime_label}/seed={self.seed}"
+        )
+
+
+#: A cell runner maps ``(graph, cell, extra_fields)`` to one record.
+CellRunner = Callable[[Graph, SweepCell, Dict], RunRecord]
+
 
 @dataclass
 class SweepSpec:
-    """A grid of workloads × (algorithm, beta, regime) cells."""
+    """A grid of workloads × algorithms (× betas × regimes) cells.
+
+    ``betas`` / ``regimes`` widen the grid beyond the single
+    ``beta`` / ``regime`` default; ``cell_runner`` replaces the default
+    :func:`solve_cell` (it must be a module-level callable to survive
+    pickling when ``jobs > 1``).  ``extra_fields`` runs in the parent
+    process (once per workload), so closures are fine there.
+    """
 
     experiment: str
     workloads: Dict[str, GraphFactory]
@@ -29,33 +117,478 @@ class SweepSpec:
     beta: int = 2
     regime: str = "sublinear"
     seed: int = 0
-    extra_fields: Callable[[str, Graph], Dict] = None
+    betas: Optional[Sequence[int]] = None
+    regimes: Optional[Sequence[RegimeSpec]] = None
+    alpha_mem: Tuple[int, int] = (2, 3)
+    extra_fields: Optional[Callable[[str, Graph], Dict]] = None
+    cell_runner: Optional[CellRunner] = None
 
 
-def run_sweep(spec: SweepSpec) -> List[RunRecord]:
-    """Execute the sweep; every run is verified before being recorded."""
-    records: List[RunRecord] = []
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable unit of work: a keyed, picklable thunk.
+
+    ``runner(*args)`` must return a :class:`RunRecord`.  ``workload`` and
+    ``algorithm`` label the failure record when the runner raises.
+    """
+
+    key: str
+    runner: Callable[..., RunRecord]
+    args: Tuple = ()
+    workload: str = ""
+    algorithm: str = ""
+
+
+def solve_cell(graph: Graph, cell: SweepCell, extra: Dict) -> RunRecord:
+    """Default cell runner: one verified :func:`solve_ruling_set` call."""
+    result = solve_ruling_set(
+        graph,
+        algorithm=cell.algorithm,
+        beta=cell.beta,
+        regime=cell.regime,
+        alpha_mem=cell.alpha_mem,
+        seed=cell.seed,
+        verify=True,
+    )
+    fields = dict(extra)
+    fields.update(
+        {
+            "beta": cell.beta,
+            "regime": cell.regime_label,
+            "seed": cell.seed,
+        }
+    )
+    return record_from_result(cell.experiment, cell.workload, result, fields)
+
+
+def _normalize_regimes(spec: SweepSpec) -> List[Tuple[str, str, Tuple[int, int]]]:
+    entries: Sequence[RegimeSpec] = (
+        spec.regimes if spec.regimes is not None else [spec.regime]
+    )
+    normalized = []
+    for entry in entries:
+        if isinstance(entry, str):
+            normalized.append((entry, entry, tuple(spec.alpha_mem)))
+        else:
+            label, regime, alpha_mem = entry
+            normalized.append((label, regime, tuple(alpha_mem)))
+    return normalized
+
+
+def build_cells(spec: SweepSpec) -> List[Cell]:
+    """Enumerate the spec's grid in deterministic order.
+
+    Order: workloads sorted by name, then the ``algorithms`` list, then
+    ``betas``, then ``regimes`` — the emission order of every sweep,
+    serial or parallel.
+    """
+    betas = list(spec.betas) if spec.betas is not None else [spec.beta]
+    regimes = _normalize_regimes(spec)
+    runner = spec.cell_runner if spec.cell_runner is not None else solve_cell
+    cells: List[Cell] = []
     for workload_name in sorted(spec.workloads):
         graph = spec.workloads[workload_name]()
-        base_extra = {
+        extra = {
             "n": graph.num_vertices,
             "m": graph.num_edges,
             "max_degree": graph.max_degree(),
         }
         if spec.extra_fields is not None:
-            base_extra.update(spec.extra_fields(workload_name, graph))
+            extra.update(spec.extra_fields(workload_name, graph))
         for algorithm in spec.algorithms:
-            result = solve_ruling_set(
-                graph,
-                algorithm=algorithm,
-                beta=spec.beta,
-                regime=spec.regime,
-                seed=spec.seed,
-                verify=True,
+            for beta in betas:
+                for label, regime, alpha_mem in regimes:
+                    cell = SweepCell(
+                        experiment=spec.experiment,
+                        workload=workload_name,
+                        algorithm=algorithm,
+                        beta=beta,
+                        regime=regime,
+                        regime_label=label,
+                        alpha_mem=alpha_mem,
+                        seed=spec.seed,
+                    )
+                    cells.append(
+                        Cell(
+                            key=cell.key,
+                            runner=runner,
+                            args=(graph, cell, extra),
+                            workload=workload_name,
+                            algorithm=algorithm,
+                        )
+                    )
+    return cells
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+) -> List[RunRecord]:
+    """Execute the sweep; every run is verified before being recorded.
+
+    Returns one record per grid cell, in deterministic grid order.  A
+    failing cell contributes a failure record (``status="failed"``)
+    rather than raising; callers that need an all-green sweep should
+    check :func:`failures`.
+    """
+    return run_cells(
+        spec.experiment,
+        build_cells(spec),
+        jobs=jobs,
+        checkpoint=checkpoint,
+        resume=resume,
+        retries=retries,
+        timeout=timeout,
+    )
+
+
+def failures(records: Iterable[RunRecord]) -> List[RunRecord]:
+    """The subset of ``records`` that are structured failure records."""
+    return [r for r in records if r.get("status") == FAILED]
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+
+def run_cells(
+    experiment: str,
+    cells: Sequence[Cell],
+    *,
+    jobs: int = 1,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+) -> List[RunRecord]:
+    """Run ``cells`` with isolation, checkpointing, and bounded fan-out.
+
+    ``jobs <= 1`` with no ``timeout`` runs cells in-process (exceptions
+    still become failure records); otherwise each cell runs in its own
+    worker process so it can be retried, timed out, or crash without
+    taking the sweep down.
+    """
+    cells = list(cells)
+    keys = [cell.key for cell in cells]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise SweepError(f"duplicate cell keys in sweep: {dupes}")
+    if jobs < 0:
+        raise SweepError(f"jobs must be >= 0, got {jobs}")
+    if timeout is not None and timeout <= 0:
+        raise SweepError(f"timeout must be positive, got {timeout}")
+
+    path = Path(checkpoint) if checkpoint is not None else None
+    results: Dict[int, RunRecord] = {}
+    if path is not None and resume and path.exists():
+        key_set = set(keys)
+        completed: Dict[str, RunRecord] = {}
+        for key, record in load_checkpoint(path):
+            if key in key_set and record.get("status") != FAILED:
+                completed[key] = record
+        for index, cell in enumerate(cells):
+            if cell.key in completed:
+                results[index] = completed[cell.key]
+
+    handle = None
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if results else "w"
+        handle = path.open(mode, encoding="utf-8")
+    try:
+        pending = [
+            (index, cell)
+            for index, cell in enumerate(cells)
+            if index not in results
+        ]
+
+        def finish(index: int, cell: Cell, record: RunRecord) -> None:
+            results[index] = record
+            _append_checkpoint(handle, cell.key, record)
+
+        if jobs <= 1 and timeout is None:
+            for index, cell in pending:
+                finish(index, cell, _run_in_process(experiment, cell, retries))
+        else:
+            _run_isolated(
+                experiment, pending, finish,
+                jobs=max(1, jobs), retries=retries, timeout=timeout,
             )
-            records.append(
-                record_from_result(
-                    spec.experiment, workload_name, result, dict(base_extra)
+        ordered = [results[index] for index in range(len(cells))]
+        if handle is not None:
+            handle.close()
+            handle = None
+            _compact_checkpoint(path, cells, ordered)
+        return ordered
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def _failure_record(
+    experiment: str,
+    cell: Cell,
+    error_type: str,
+    message: str,
+    attempts: int,
+) -> RunRecord:
+    return RunRecord(
+        experiment=experiment,
+        workload=cell.workload,
+        algorithm=cell.algorithm,
+        fields={
+            "status": FAILED,
+            "cell": cell.key,
+            "error_type": error_type,
+            "error": message[:_ERROR_CHARS],
+            "attempts": attempts,
+        },
+    )
+
+
+def _run_in_process(experiment: str, cell: Cell, retries: int) -> RunRecord:
+    last: Optional[Tuple[str, str]] = None
+    for attempt in range(1, retries + 2):
+        start = time.perf_counter()
+        try:
+            record = cell.runner(*cell.args)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            last = (type(exc).__name__, str(exc) or repr(exc))
+            continue
+        record.meta.update(
+            {
+                "worker": "serial",
+                "attempt": attempt,
+                "cell_wall_s": round(time.perf_counter() - start, 6),
+            }
+        )
+        return record
+    error_type, message = last
+    return _failure_record(experiment, cell, error_type, message, retries + 1)
+
+
+def _cell_worker(conn, runner, args) -> None:
+    """Worker-process entry: run one cell, ship the outcome back."""
+    start = time.perf_counter()
+    try:
+        record = runner(*args)
+        outcome = ("ok", record, time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 - shipped back as a failure
+        detail = traceback.format_exc(limit=4)
+        outcome = (
+            "error",
+            (type(exc).__name__, str(exc) or detail),
+            time.perf_counter() - start,
+        )
+    try:
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Live:
+    proc: "mp.process.BaseProcess"
+    conn: "mp.connection.Connection"
+    start: float
+    attempt: int
+    cell: Cell
+
+
+def _run_isolated(
+    experiment: str,
+    pending: List[Tuple[int, Cell]],
+    finish: Callable[[int, Cell, RunRecord], None],
+    *,
+    jobs: int,
+    retries: int,
+    timeout: Optional[float],
+) -> None:
+    """Process-per-cell scheduler with bounded concurrency.
+
+    One worker process per cell attempt (not a long-lived pool): a hung
+    or crashed cell can be killed and retried without poisoning other
+    cells, which is the isolation contract the failure records rely on.
+    """
+    ctx = mp.get_context()
+    queue = deque(pending)
+    attempts: Dict[int, int] = {}
+    live: Dict[int, _Live] = {}
+
+    def launch(index: int, cell: Cell) -> None:
+        attempts[index] = attempts.get(index, 0) + 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_cell_worker,
+            args=(child_conn, cell.runner, cell.args),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        live[index] = _Live(
+            proc=proc, conn=parent_conn, start=time.monotonic(),
+            attempt=attempts[index], cell=cell,
+        )
+
+    def retire(index: int) -> _Live:
+        entry = live.pop(index)
+        entry.proc.join()
+        entry.conn.close()
+        return entry
+
+    def fail_or_retry(
+        index: int, entry: _Live, error_type: str, message: str
+    ) -> None:
+        if entry.attempt <= retries:
+            queue.appendleft((index, entry.cell))
+            return
+        record = _failure_record(
+            experiment, entry.cell, error_type, message, entry.attempt
+        )
+        record.meta.update(
+            {
+                "worker": f"pid-{entry.proc.pid}",
+                "attempt": entry.attempt,
+                "cell_wall_s": round(time.monotonic() - entry.start, 6),
+            }
+        )
+        finish(index, entry.cell, record)
+
+    while queue or live:
+        while queue and len(live) < jobs:
+            index, cell = queue.popleft()
+            launch(index, cell)
+        conns = [entry.conn for entry in live.values()]
+        mp.connection.wait(conns, timeout=0.05)
+        now = time.monotonic()
+        for index in list(live):
+            entry = live[index]
+            if entry.conn.poll():
+                try:
+                    outcome = entry.conn.recv()
+                except EOFError:
+                    outcome = None
+                retire(index)
+                if outcome is None:
+                    fail_or_retry(
+                        index, entry, "WorkerCrash",
+                        "worker pipe closed before a result arrived",
+                    )
+                    continue
+                status, payload, wall = outcome
+                if status == "ok":
+                    record = payload
+                    record.meta.update(
+                        {
+                            "worker": f"pid-{entry.proc.pid}",
+                            "attempt": entry.attempt,
+                            "cell_wall_s": round(wall, 6),
+                        }
+                    )
+                    finish(index, entry.cell, record)
+                else:
+                    error_type, message = payload
+                    fail_or_retry(index, entry, error_type, message)
+            elif entry.proc.exitcode is not None:
+                # Exited without sending: a send that completed would be
+                # readable above, so this is a genuine crash.
+                retire(index)
+                fail_or_retry(
+                    index, entry, "WorkerCrash",
+                    f"worker exited with code {entry.proc.exitcode}",
                 )
-            )
-    return records
+            elif timeout is not None and now - entry.start > timeout:
+                entry.proc.terminate()
+                retire(index)
+                fail_or_retry(
+                    index, entry, "CellTimeout",
+                    f"cell exceeded the per-cell timeout of {timeout}s",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint persistence
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_line(key: str, record: RunRecord) -> str:
+    """Serialise one finished cell as a checkpoint JSONL line.
+
+    The line is the record's deterministic payload plus two underscore
+    keys: ``_cell`` (the cell's stable key, used by resume) and
+    ``_meta`` (wall-clock + worker attribution — observability only,
+    excluded from the determinism contract).
+    """
+    payload = json.loads(record.to_json())
+    payload["_cell"] = key
+    if record.meta:
+        payload["_meta"] = record.meta
+    return json.dumps(payload, sort_keys=True)
+
+
+def _append_checkpoint(handle, key: str, record: RunRecord) -> None:
+    if handle is None:
+        return
+    handle.write(checkpoint_line(key, record) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _compact_checkpoint(
+    path: Path, cells: Sequence[Cell], ordered: Sequence[RunRecord]
+) -> None:
+    """Rewrite a completed checkpoint in deterministic grid order."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for cell, record in zip(cells, ordered):
+            handle.write(checkpoint_line(cell.key, record) + "\n")
+    tmp.replace(path)
+
+
+def load_checkpoint(
+    path: Union[str, Path]
+) -> List[Tuple[str, RunRecord]]:
+    """Parse a checkpoint file into ``(cell key, record)`` pairs.
+
+    Tolerates a truncated final line (a killed sweep can die mid-write).
+    When the same key appears twice (append-mode retries), the later
+    line wins.
+    """
+    pairs: Dict[str, RunRecord] = {}
+    order: List[str] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail write from a killed run
+        if not isinstance(payload, dict):
+            continue
+        key = payload.pop("_cell", None)
+        meta = payload.pop("_meta", {})
+        record = RunRecord(
+            experiment=payload.pop("experiment", ""),
+            workload=payload.pop("workload", ""),
+            algorithm=payload.pop("algorithm", ""),
+            fields=payload,
+        )
+        record.meta = dict(meta)
+        if key is None:
+            key = f"{record.workload}/{record.algorithm}"
+        if key not in pairs:
+            order.append(key)
+        pairs[key] = record
+    return [(key, pairs[key]) for key in order]
+
+
+def load_records(path: Union[str, Path]) -> List[RunRecord]:
+    """The records of a checkpoint file, in file order."""
+    return [record for _, record in load_checkpoint(path)]

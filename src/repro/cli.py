@@ -8,7 +8,8 @@ Installed as ``repro-mpc``::
     repro-mpc trace --family gnp --n 256 --out run.trace.jsonl \
         --chrome-out run.trace.json
     repro-mpc verify --input g.txt --members 3,19,40 --beta 2
-    repro-mpc sweep --n 128,256 --algorithms det-ruling,det-luby
+    repro-mpc sweep --n 128,256 --algorithms det-ruling,det-luby \
+        --jobs 4 --checkpoint sweep.jsonl --resume --timeout 120
 
 Every ``solve`` runs on the enforcing simulator and verifies its output;
 ``--json`` emits a machine-readable record instead of the text summary.
@@ -25,7 +26,7 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.sweep import SweepSpec, run_sweep
+from repro.analysis.sweep import SweepSpec, failures, run_sweep
 from repro.analysis.tables import format_table
 from repro.core.pipeline import solve_ruling_set
 from repro.core.verify import verify_ruling_set
@@ -250,6 +251,11 @@ def cmd_verify(args) -> int:
 def cmd_sweep(args) -> int:
     sizes = [int(x) for x in args.n.split(",") if x]
     algorithms = [a for a in args.algorithms.split(",") if a]
+    betas = (
+        [int(x) for x in args.betas.split(",") if x]
+        if args.betas
+        else None
+    )
     workloads = {
         f"{args.family}-{n}": (
             lambda n=n: build_graph(args.family, n, args.param, args.seed)
@@ -262,19 +268,36 @@ def cmd_sweep(args) -> int:
             workloads=workloads,
             algorithms=algorithms,
             beta=args.beta,
+            betas=betas,
             regime=args.regime,
             seed=args.seed,
-        )
+        ),
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        retries=args.retries,
+        timeout=args.timeout,
     )
+    failed = failures(records)
     print(
         format_table(
-            records,
+            [r for r in records if r.get("status") != "failed"],
             columns=[
-                "workload", "algorithm", "n", "m", "rounds", "size",
+                "workload", "algorithm", "beta", "n", "m", "rounds", "size",
             ],
             title="cli sweep",
         )
     )
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint} ({len(records)} records)")
+    if failed:
+        print(f"\n{len(failed)}/{len(records)} cells FAILED:")
+        for record in failed:
+            print(
+                f"  - {record.get('cell')}: {record.get('error_type')}: "
+                f"{record.get('error')}"
+            )
+        return 1
     return 0
 
 
@@ -358,18 +381,50 @@ def make_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--beta", type=int, default=2)
     p_verify.set_defaults(func=cmd_verify)
 
-    p_sweep = sub.add_parser("sweep", help="run an algorithm x size grid")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run an algorithm x size grid (parallel, checkpointed)",
+    )
     p_sweep.add_argument("--family", choices=FAMILIES, default="gnp")
     p_sweep.add_argument("--n", default="128,256")
     p_sweep.add_argument("--param", type=int, default=12)
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--beta", type=int, default=2)
     p_sweep.add_argument(
+        "--betas", default=None,
+        help="comma-separated beta grid axis (overrides --beta)",
+    )
+    p_sweep.add_argument(
         "--regime", default="sublinear",
         choices=("sublinear", "near-linear", "single"),
     )
     p_sweep.add_argument(
         "--algorithms", default="det-ruling,det-luby",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cell execution (records are emitted "
+        "in deterministic grid order whatever the fan-out)",
+    )
+    p_sweep.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL checkpoint path; each finished cell is appended "
+        "(and the file compacted to grid order on completion)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already completed in --checkpoint; failed "
+        "cells are re-run",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock timeout in seconds (a timed-out cell "
+        "becomes a structured failure record)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run attempts for a failing cell before recording the "
+        "failure (default 0)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
     return parser

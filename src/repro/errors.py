@@ -67,5 +67,11 @@ class CongestViolationError(ReproError):
     """
 
 
+class SweepError(ReproError):
+    """The sweep engine was misconfigured (duplicate cell keys, bad
+    jobs/timeout values) — distinct from a *cell* failure, which is
+    captured as a structured failure record, never raised."""
+
+
 class VerificationError(ReproError):
     """A claimed ruling set failed verification."""

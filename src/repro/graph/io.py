@@ -18,6 +18,21 @@ from repro.graph.graph import Graph
 PathLike = Union[str, Path]
 
 
+def _parse_int(token: str, kind: str, line: str) -> int:
+    """Parse one numeric token; all format failures report uniformly.
+
+    Without this wrapper a malformed token (e.g. ``"3 x"``) escapes as a
+    bare ``ValueError`` from ``int()`` instead of the :class:`GraphError`
+    every other file-format problem raises.
+    """
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphError(
+            f"bad {kind} token {token!r} in line: {line!r}"
+        ) from None
+
+
 def write_edge_list(graph: Graph, path: PathLike) -> None:
     """Write ``graph`` to ``path`` in header + edge-list format."""
     target = Path(path)
@@ -46,13 +61,19 @@ def read_edge_list(path: PathLike) -> Graph:
             if header is None:
                 if len(parts) != 2:
                     raise GraphError(f"bad header line: {line!r}")
-                header = (int(parts[0]), int(parts[1]))
+                header = (
+                    _parse_int(parts[0], "header", line),
+                    _parse_int(parts[1], "header", line),
+                )
                 declared_edges = header[1]
                 builder = GraphBuilder(header[0])
                 continue
             if len(parts) != 2:
                 raise GraphError(f"bad edge line: {line!r}")
-            builder.add_edge(int(parts[0]), int(parts[1]))
+            builder.add_edge(
+                _parse_int(parts[0], "edge", line),
+                _parse_int(parts[1], "edge", line),
+            )
     if header is None or builder is None:
         raise GraphError(f"no header found in {source}")
     graph = builder.build()

@@ -62,6 +62,11 @@ class SplitMix64:
         """
         if bound <= 0:
             raise ValueError(f"bound must be positive, got {bound}")
+        if bound > (1 << 64):
+            # With bound > 2**64 the rejection limit below is 0 and the
+            # loop would never terminate (no 64-bit draw can be uniform
+            # on a wider range anyway).
+            raise ValueError(f"bound must be <= 2**64, got {bound}")
         # Rejection sampling removes modulo bias; at most one extra draw in
         # expectation because bound <= 2**64.
         limit = (1 << 64) - ((1 << 64) % bound)

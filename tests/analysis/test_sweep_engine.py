@@ -1,0 +1,289 @@
+"""The fault-tolerant sweep engine: determinism, isolation, resume.
+
+The module-level cell runners are required: with ``jobs > 1`` (or a
+``timeout``) cells execute in worker processes and must pickle by
+qualified name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.analysis.records import RunRecord
+from repro.analysis.sweep import (
+    Cell,
+    SweepSpec,
+    build_cells,
+    checkpoint_line,
+    failures,
+    load_checkpoint,
+    load_records,
+    run_cells,
+    run_sweep,
+)
+from repro.errors import SweepError
+from repro.graph import generators as gen
+
+EXPERIMENT = "engine-test"
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    params = dict(
+        experiment=EXPERIMENT,
+        workloads={
+            "cycle-12": lambda: gen.cycle_graph(12),
+            "tree-20": lambda: gen.random_tree(20, seed=1),
+            "star-9": lambda: gen.star_graph(9),
+        },
+        algorithms=["greedy-mis", "det-luby"],
+        regime="near-linear",
+    )
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+def stream(records) -> list:
+    """The deterministic record stream (meta excluded by design)."""
+    return [r.to_json() for r in records]
+
+
+def ok_cell(name: str) -> RunRecord:
+    return RunRecord(EXPERIMENT, name, "alg", {"value": len(name)})
+
+
+def boom_cell(name: str) -> RunRecord:
+    raise RuntimeError(f"cell {name} exploded")
+
+
+def slow_cell(name: str) -> RunRecord:
+    time.sleep(30)
+    return ok_cell(name)
+
+
+def crash_cell(name: str) -> RunRecord:
+    os._exit(17)
+
+
+def flaky_cell(marker_dir: str, name: str) -> RunRecord:
+    """Fails on the first attempt, succeeds on the second."""
+    marker = os.path.join(marker_dir, f"{name}.attempted")
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="ascii") as handle:
+            handle.write("1")
+        raise RuntimeError("first attempt fails")
+    return ok_cell(name)
+
+
+def make_cells(names, runner=ok_cell, **kwargs):
+    return [
+        Cell(key=name, runner=runner, args=(name,), workload=name,
+             algorithm="alg", **kwargs)
+        for name in names
+    ]
+
+
+class TestDeterministicParallelism:
+    def test_parallel_stream_identical_to_serial(self, tmp_path):
+        """Pinned: run_sweep(jobs=N) is record-for-record identical to
+        the serial sweep, including order."""
+        spec = tiny_spec()
+        serial = run_sweep(spec)
+        parallel = run_sweep(spec, jobs=3)
+        assert stream(parallel) == stream(serial)
+        assert len(serial) == 6
+
+    def test_parallel_checkpoint_file_matches_serial(self, tmp_path):
+        spec = tiny_spec()
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        run_sweep(spec, checkpoint=serial_path)
+        run_sweep(spec, jobs=3, checkpoint=parallel_path)
+        assert _payloads(serial_path) == _payloads(parallel_path)
+
+    def test_worker_attribution_lands_in_meta(self):
+        spec = tiny_spec()
+        records = run_sweep(spec, jobs=2)
+        workers = {r.meta["worker"] for r in records}
+        assert all(w.startswith("pid-") for w in workers)
+        assert all(r.meta["cell_wall_s"] >= 0 for r in records)
+        assert all(r.meta["attempt"] == 1 for r in records)
+        serial = run_sweep(spec)
+        assert {r.meta["worker"] for r in serial} == {"serial"}
+
+    def test_grid_order_is_sorted_workloads_then_algorithms(self):
+        records = run_sweep(tiny_spec())
+        assert [(r.workload, r.algorithm) for r in records] == [
+            ("cycle-12", "greedy-mis"), ("cycle-12", "det-luby"),
+            ("star-9", "greedy-mis"), ("star-9", "det-luby"),
+            ("tree-20", "greedy-mis"), ("tree-20", "det-luby"),
+        ]
+
+    def test_beta_and_regime_axes_widen_the_grid(self):
+        spec = tiny_spec(
+            workloads={"cycle-12": lambda: gen.cycle_graph(12)},
+            algorithms=["greedy-ruling"],
+            betas=[2, 3],
+            regimes=["near-linear", ("single", "single", (1, 1))],
+        )
+        records = run_sweep(spec)
+        assert [(r.get("beta"), r.get("regime")) for r in records] == [
+            (2, "near-linear"), (2, "single"),
+            (3, "near-linear"), (3, "single"),
+        ]
+
+    def test_duplicate_cell_keys_rejected(self):
+        cells = make_cells(["a", "a"])
+        with pytest.raises(SweepError, match="duplicate"):
+            run_cells(EXPERIMENT, cells)
+
+
+class TestFailureIsolation:
+    def test_midsweep_failure_yields_record_and_rest_run(self):
+        """A raising cell becomes a failure record; later cells run."""
+        cells = make_cells(["a"]) + make_cells(["b"], runner=boom_cell) \
+            + make_cells(["c"])
+        records = run_cells(EXPERIMENT, cells)
+        assert [r.get("status", "ok") for r in records] == \
+            ["ok", "failed", "ok"]
+        failed = failures(records)[0]
+        assert failed.workload == "b"
+        assert failed.get("cell") == "b"
+        assert failed.get("error_type") == "RuntimeError"
+        assert "exploded" in failed.get("error")
+        assert failed.get("attempts") == 1
+
+    def test_failure_isolation_in_worker_processes(self):
+        cells = make_cells(["a"]) + make_cells(["b"], runner=boom_cell) \
+            + make_cells(["c", "d"])
+        records = run_cells(EXPERIMENT, cells, jobs=2)
+        assert [r.get("status", "ok") for r in records] == \
+            ["ok", "failed", "ok", "ok"]
+
+    def test_worker_crash_becomes_failure_record(self):
+        cells = make_cells(["k"], runner=crash_cell) + make_cells(["a"])
+        records = run_cells(EXPERIMENT, cells, jobs=2)
+        assert records[0].get("status") == "failed"
+        assert records[0].get("error_type") == "WorkerCrash"
+        assert records[1].get("value") == 1
+
+    def test_timeout_kills_the_cell_not_the_sweep(self):
+        cells = make_cells(["s"], runner=slow_cell) + make_cells(["a"])
+        start = time.monotonic()
+        records = run_cells(EXPERIMENT, cells, jobs=2, timeout=1.0)
+        assert time.monotonic() - start < 15
+        assert records[0].get("status") == "failed"
+        assert records[0].get("error_type") == "CellTimeout"
+        assert records[1].get("status", "ok") == "ok"
+
+    def test_retries_rescue_a_flaky_cell(self, tmp_path):
+        cells = [
+            Cell(
+                key="f", runner=partial(flaky_cell, str(tmp_path)),
+                args=("f",), workload="f", algorithm="alg",
+            )
+        ]
+        records = run_cells(EXPERIMENT, cells, retries=1)
+        assert records[0].get("status", "ok") == "ok"
+        assert records[0].meta["attempt"] == 2
+
+
+class TestCheckpointResume:
+    def test_resume_skips_exactly_the_checkpointed_cells(
+        self, tmp_path, monkeypatch
+    ):
+        """Interrupt after 2 cells; the resumed sweep runs only the rest
+        and the merged output equals an uninterrupted run's."""
+        spec = tiny_spec()
+        path = tmp_path / "ck.jsonl"
+        uninterrupted = run_sweep(spec, checkpoint=path)
+        full_payloads = _payloads(path)
+
+        # Simulate a crash after the first two cells: truncate the file.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+
+        ran = []
+
+        def counting_runner(graph, cell, extra):
+            ran.append(cell.key)
+            from repro.analysis.sweep import solve_cell
+            return solve_cell(graph, cell, extra)
+
+        resumed = run_sweep(
+            tiny_spec(cell_runner=counting_runner),
+            checkpoint=path, resume=True,
+        )
+        assert len(ran) == 4  # 6 cells, 2 checkpointed
+        assert stream(resumed) == stream(uninterrupted)
+        assert _payloads(path) == full_payloads
+
+    def test_resume_tolerates_a_torn_final_line(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "ck.jsonl"
+        uninterrupted = run_sweep(spec, checkpoint=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+        resumed = run_sweep(spec, checkpoint=path, resume=True)
+        assert stream(resumed) == stream(uninterrupted)
+
+    def test_resume_reruns_failed_cells(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        cells_bad = make_cells(["a"]) + make_cells(["b"], runner=boom_cell)
+        first = run_cells(EXPERIMENT, cells_bad, checkpoint=path)
+        assert len(failures(first)) == 1
+        cells_good = make_cells(["a", "b"])
+        second = run_cells(
+            EXPERIMENT, cells_good, checkpoint=path, resume=True
+        )
+        assert failures(second) == []
+        assert second[1].get("value") == 1
+        # "a" was not re-run: its record came from the checkpoint.
+        assert [key for key, _ in load_checkpoint(path)] == ["a", "b"]
+
+    def test_resume_without_checkpoint_file_runs_everything(self, tmp_path):
+        spec = tiny_spec()
+        records = run_sweep(
+            spec, checkpoint=tmp_path / "missing.jsonl", resume=True
+        )
+        assert len(records) == 6
+
+    def test_checkpoint_compacted_in_grid_order(self, tmp_path):
+        """Parallel completion order may differ; the final file must not."""
+        spec = tiny_spec()
+        path = tmp_path / "ck.jsonl"
+        run_sweep(spec, jobs=3, checkpoint=path)
+        keys = [key for key, _ in load_checkpoint(path)]
+        assert keys == [cell.key for cell in build_cells(spec)]
+
+    def test_load_records_roundtrip(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "ck.jsonl"
+        records = run_sweep(spec, checkpoint=path)
+        loaded = load_records(path)
+        assert stream(loaded) == stream(records)
+        assert loaded[0].meta["worker"] == "serial"
+
+    def test_checkpoint_line_separates_meta_from_payload(self):
+        record = RunRecord(EXPERIMENT, "w", "a", {"rounds": 3})
+        record.meta = {"worker": "pid-1", "cell_wall_s": 0.5}
+        payload = json.loads(checkpoint_line("w/a", record))
+        assert payload["_cell"] == "w/a"
+        assert payload["_meta"] == {"worker": "pid-1", "cell_wall_s": 0.5}
+        assert payload["rounds"] == 3
+        # The deterministic stream never contains meta.
+        assert "_meta" not in json.loads(record.to_json())
+
+
+def _payloads(path):
+    """Checkpoint lines with the (non-deterministic) _meta key stripped."""
+    out = []
+    for line in path.read_text().splitlines():
+        payload = json.loads(line)
+        payload.pop("_meta", None)
+        out.append(payload)
+    return out

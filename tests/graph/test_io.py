@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import generators as gen
 from repro.graph.graph import Graph
 from repro.graph.io import read_edge_list, write_edge_list
 
@@ -58,4 +57,19 @@ class TestParsing:
         target = tmp_path / "g.txt"
         target.write_text("2 1\n0 5\n")
         with pytest.raises(GraphError):
+            read_edge_list(target)
+
+    def test_malformed_endpoint_token(self, tmp_path):
+        # Regression: non-numeric tokens used to escape as a bare
+        # ValueError from int(); they must surface as GraphError with
+        # the offending line in the message.
+        target = tmp_path / "g.txt"
+        target.write_text("2 1\n0 x\n")
+        with pytest.raises(GraphError, match="'x'"):
+            read_edge_list(target)
+
+    def test_malformed_header_token(self, tmp_path):
+        target = tmp_path / "g.txt"
+        target.write_text("two 1\n0 1\n")
+        with pytest.raises(GraphError, match="'two'"):
             read_edge_list(target)

@@ -1,0 +1,31 @@
+"""End-to-end kill-and-resume: SIGKILL a parallel CLI sweep, resume it.
+
+Drives the same script CI runs (``benchmarks/sweep_resume_check.py``):
+serial baseline -> parallel sweep killed after the first checkpointed
+cell -> ``--resume`` -> record streams must match exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_killed_parallel_sweep_resumes_to_serial_baseline():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "benchmarks.sweep_resume_check"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK:" in proc.stdout

@@ -50,6 +50,17 @@ class TestStream:
         with pytest.raises(ValueError):
             SplitMix64().next_below(0)
 
+    def test_next_below_rejects_bound_over_word_size(self):
+        # Regression: a bound > 2**64 used to make the rejection-sampling
+        # limit zero, so every draw was "rejected" and the loop never
+        # terminated.  Now it must fail fast.
+        with pytest.raises(ValueError):
+            SplitMix64().next_below(2**64 + 1)
+
+    def test_next_below_accepts_full_word_bound(self):
+        rng = SplitMix64(seed=9)
+        assert 0 <= rng.next_below(2**64) < 2**64
+
     def test_next_unit_in_range(self):
         rng = SplitMix64(seed=11)
         for _ in range(100):
