@@ -25,10 +25,24 @@ from repro.analysis.sweep import (
     run_cells,
     run_sweep,
 )
+from repro.core import registry
 from repro.mpc.metrics import RunMetrics
 from repro.mpc.trace import TraceRecorder
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def algorithm_axis(
+    family: Optional[str] = None, problem: Optional[str] = None
+) -> List[str]:
+    """The registry's algorithm names as a sweep axis.
+
+    Benchmark drivers build their ``algorithms`` lists from this (or
+    from the :mod:`repro.core.registry` name constants) so the bench
+    suite tracks the registry automatically — the drift-guard test
+    asserts no ``bench_e*`` module spells an algorithm name literal.
+    """
+    return list(registry.algorithm_names(family=family, problem=problem))
 
 
 def sweep_options(

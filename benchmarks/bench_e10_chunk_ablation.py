@@ -25,6 +25,7 @@ from repro.core.det_luby import (
     conditional_expectation_chooser,
     det_luby_mis,
 )
+from repro.core.registry import DET_LUBY
 from repro.core.verify import verify_ruling_set
 from repro.graph import generators as gen
 from repro.mpc.config import MPCConfig
@@ -58,7 +59,7 @@ def chunk_cell(chunk: int) -> RunRecord:
     record = RunRecord(
         "e10_chunk_ablation",
         f"chunk-{chunk}",
-        "det-luby",
+        DET_LUBY,
         {
             "chunk_bits": chunk,
             "rounds": sim.metrics.rounds,
@@ -83,9 +84,9 @@ def test_e10_chunk_ablation(benchmark):
         "e10_chunk_ablation",
         [
             Cell(
-                key=f"chunk-{chunk}/det-luby",
+                key=f"chunk-{chunk}/{DET_LUBY}",
                 runner=partial(chunk_cell, chunk),
-                workload=f"chunk-{chunk}", algorithm="det-luby",
+                workload=f"chunk-{chunk}", algorithm=DET_LUBY,
             )
             for chunk in CHUNK_BITS
         ],

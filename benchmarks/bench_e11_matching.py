@@ -25,6 +25,7 @@ from repro.core.det_matching import (
     matching_config,
     verify_maximal_matching,
 )
+from repro.core.registry import DET_MATCHING
 from repro.graph import generators as gen
 from repro.mpc.graph_store import DistributedGraph
 from repro.mpc.simulator import Simulator
@@ -65,7 +66,7 @@ def matching_cell(name: str) -> RunRecord:
     # greedy is maximal too, so sizes stay within a factor of two.
     assert 2 * len(matching) >= greedy
     return RunRecord(
-        "e11_matching", name, "det-matching",
+        "e11_matching", name, DET_MATCHING,
         {
             "n": graph.num_vertices,
             "m": graph.num_edges,
@@ -85,9 +86,9 @@ def test_e11_matching(benchmark):
         "e11_matching",
         [
             Cell(
-                key=f"{name}/det-matching",
+                key=f"{name}/{DET_MATCHING}",
                 runner=partial(matching_cell, name),
-                workload=name, algorithm="det-matching",
+                workload=name, algorithm=DET_MATCHING,
             )
             for name in sorted(WORKLOADS)
         ],

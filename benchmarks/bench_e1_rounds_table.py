@@ -10,14 +10,16 @@ power-law graphs; columns: rounds for det/rand × ruling/luby.
 
 from __future__ import annotations
 
-from benchmarks.bench_common import emit, run_experiment
+from benchmarks.bench_common import algorithm_axis, emit, run_experiment
 from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_RULING, MPC_FAMILY, RULING_SET
 from repro.graph import generators as gen
 
 SIZES = [128, 256, 512, 1024, 2048]
-ALGORITHMS = ["det-ruling", "rand-ruling", "det-luby", "rand-luby"]
+# Every MPC ruling-set algorithm in the registry (det/rand × ruling/luby).
+ALGORITHMS = algorithm_axis(family=MPC_FAMILY, problem=RULING_SET)
 
 
 def workload_grid():
@@ -57,7 +59,7 @@ def test_e1_rounds_table(benchmark):
     det_ruling = {
         r.workload: r.get("rounds")
         for r in records
-        if r.algorithm == "det-ruling" and r.workload.startswith("er")
+        if r.algorithm == DET_RULING and r.workload.startswith("er")
     }
     assert det_ruling[f"er-{SIZES[-1]:04d}"] <= 20 * max(
         1, det_ruling[f"er-{SIZES[0]:04d}"]
@@ -67,7 +69,7 @@ def test_e1_rounds_table(benchmark):
     graph = gen.gnp_random_graph(256, 16, 256, seed=256)
     benchmark.pedantic(
         lambda: solve_ruling_set(
-            graph, algorithm="det-ruling", regime="sublinear"
+            graph, algorithm=DET_RULING, regime="sublinear"
         ),
         rounds=1,
         iterations=1,

@@ -13,11 +13,12 @@ from benchmarks.bench_common import emit, run_experiment
 from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_series, format_table
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_LUBY, DET_RULING
 from repro.graph import generators as gen
 
 N = 512
 DEGREES = [8, 16, 32, 64, 128]
-ALGORITHMS = ["det-ruling", "det-luby"]
+ALGORITHMS = [DET_RULING, DET_LUBY]
 
 
 def workload_grid():
@@ -57,13 +58,13 @@ def test_e2_delta_sweep(benchmark):
     emit("e2_delta_sweep", text)
 
     # Shape check: an 16x increase in Δ must not blow rounds up by 16x.
-    det = dict(series["det-ruling"])
+    det = dict(series[DET_RULING])
     assert det[DEGREES[-1]] <= 8 * max(1, det[DEGREES[0]])
 
     graph = gen.regular_graph(N, 32)
     benchmark.pedantic(
         lambda: solve_ruling_set(
-            graph, algorithm="det-ruling", regime="sublinear"
+            graph, algorithm=DET_RULING, regime="sublinear"
         ),
         rounds=1,
         iterations=1,

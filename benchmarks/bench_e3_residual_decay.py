@@ -20,6 +20,7 @@ from repro.analysis.records import RunRecord
 from repro.analysis.sweep import Cell
 from repro.analysis.tables import format_series
 from repro.core.det_luby import det_luby_mis
+from repro.core.registry import DET_LUBY
 from repro.core.verify import verify_ruling_set
 from repro.graph import generators as gen
 from repro.mpc.config import MPCConfig
@@ -45,7 +46,7 @@ def decay_cell(n: int, seed: int) -> RunRecord:
     graph = gen.gnp_random_graph(n, 16, n, seed=seed)
     trace = run_traced(graph)
     return RunRecord(
-        "e3_residual_decay", f"er-{n:04d}", "det-luby",
+        "e3_residual_decay", f"er-{n:04d}", DET_LUBY,
         {
             "n": graph.num_vertices,
             "m": graph.num_edges,
@@ -65,8 +66,8 @@ def test_e3_residual_decay(benchmark):
         "e3_residual_decay",
         [
             Cell(
-                key="er-0512/det-luby", runner=decay_cell, args=(512, 77),
-                workload="er-0512", algorithm="det-luby",
+                key=f"er-0512/{DET_LUBY}", runner=decay_cell, args=(512, 77),
+                workload="er-0512", algorithm=DET_LUBY,
             )
         ],
     )

@@ -18,6 +18,7 @@ from repro.analysis.sweep import SweepCell, SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.greedy import greedy_mis
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_LUBY, DET_RULING, GREEDY_MIS, RAND_RULING
 from repro.core.verify import check_ruling_set
 from repro.graph import generators as gen
 from repro.graph.graph import Graph
@@ -31,7 +32,7 @@ WORKLOADS = {
     "regular-24": lambda: gen.regular_graph(256, 24),
 }
 
-ALGORITHMS = ["greedy-mis", "det-ruling", "rand-ruling", "det-luby"]
+ALGORITHMS = [GREEDY_MIS, DET_RULING, RAND_RULING, DET_LUBY]
 
 
 def quality_cell(graph: Graph, cell: SweepCell, extra) -> RunRecord:
@@ -82,7 +83,7 @@ def test_e4_quality(benchmark):
     graph = WORKLOADS["er-256"]()
     benchmark.pedantic(
         lambda: check_ruling_set(
-            graph, solve_ruling_set(graph, algorithm="det-ruling").members
+            graph, solve_ruling_set(graph, algorithm=DET_RULING).members
         ),
         rounds=1,
         iterations=1,

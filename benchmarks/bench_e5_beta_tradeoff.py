@@ -15,6 +15,7 @@ from benchmarks.bench_common import emit, run_experiment
 from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_series, format_table
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_RULING
 from repro.graph import generators as gen
 
 BETAS = [2, 3, 4]
@@ -27,13 +28,13 @@ def test_e5_beta_tradeoff(benchmark):
         workloads={
             f"er-{N}": lambda: gen.gnp_random_graph(N, 24, N, seed=55)
         },
-        algorithms=["det-ruling"],
+        algorithms=[DET_RULING],
         betas=BETAS,
         regime="sublinear",
     )
     records = run_experiment(spec)
     series = {
-        "det-ruling-rounds": [
+        f"{DET_RULING}-rounds": [
             (r.get("beta"), r.get("rounds")) for r in records
         ],
         "levels-built": [
@@ -62,7 +63,7 @@ def test_e5_beta_tradeoff(benchmark):
     graph = gen.gnp_random_graph(N, 24, N, seed=55)
     benchmark.pedantic(
         lambda: solve_ruling_set(
-            graph, algorithm="det-ruling", beta=3, regime="sublinear"
+            graph, algorithm=DET_RULING, beta=3, regime="sublinear"
         ),
         rounds=1,
         iterations=1,

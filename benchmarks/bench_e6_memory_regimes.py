@@ -16,6 +16,7 @@ from benchmarks.bench_common import emit, run_experiment
 from repro.analysis.sweep import SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_LUBY, DET_RULING
 from repro.graph import generators as gen
 
 REGIMES = [
@@ -34,7 +35,7 @@ def test_e6_memory_regimes(benchmark):
     spec = SweepSpec(
         experiment="e6_memory_regimes",
         workloads={f"er-{N}": lambda: gen.gnp_random_graph(N, 8, N, seed=66)},
-        algorithms=["det-ruling", "det-luby"],
+        algorithms=[DET_RULING, DET_LUBY],
         regimes=REGIMES,
     )
     records = run_experiment(spec)
@@ -56,14 +57,14 @@ def test_e6_memory_regimes(benchmark):
     det = {
         r.get("regime"): r.get("rounds")
         for r in records
-        if r.algorithm == "det-ruling"
+        if r.algorithm == DET_RULING
     }
     assert det["near-linear"] <= 2 * det["alpha-1/2"]
 
     graph = gen.gnp_random_graph(N, 8, N, seed=66)
     benchmark.pedantic(
         lambda: solve_ruling_set(
-            graph, algorithm="det-ruling", regime="sublinear",
+            graph, algorithm=DET_RULING, regime="sublinear",
             alpha_mem=(1, 2),
         ),
         rounds=1,

@@ -25,6 +25,7 @@ from repro.analysis.sweep import Cell
 from repro.analysis.tables import format_series
 from repro.core.det_luby import modulus_for
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_RULING
 from repro.derand.conditional import choose_seed
 from repro.derand.estimator import ThresholdEstimator
 from repro.graph import generators as gen
@@ -59,10 +60,10 @@ def anatomy_cell(n: int) -> RunRecord:
     assert stats.achieved_value * p * p >= stats.expectation_x_p2
     expectation = stats.expectation_x_p2 / (p * p)
     result = solve_ruling_set(
-        graph, algorithm="det-ruling", regime="sublinear"
+        graph, algorithm=DET_RULING, regime="sublinear"
     )
     return RunRecord(
-        "e7_seed_search", f"er-{n:04d}", "det-ruling",
+        "e7_seed_search", f"er-{n:04d}", DET_RULING,
         {
             "n": n,
             "multipliers_scanned": stats.a_candidates_scanned,
@@ -80,9 +81,9 @@ def test_e7_seed_search(benchmark):
         "e7_seed_search",
         [
             Cell(
-                key=f"er-{n:04d}/det-ruling",
+                key=f"er-{n:04d}/{DET_RULING}",
                 runner=partial(anatomy_cell, n),
-                workload=f"er-{n:04d}", algorithm="det-ruling",
+                workload=f"er-{n:04d}", algorithm=DET_RULING,
             )
             for n in SIZES
         ],

@@ -23,6 +23,15 @@ from repro.analysis.sweep import SweepCell, SweepSpec
 from repro.analysis.tables import format_table
 from repro.core.exponentiation import grow_balls
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import (
+    DET_LUBY,
+    DET_RULING,
+    LOCAL_BITWISE,
+    LOCAL_COLORING_MIS,
+    LOCAL_FAMILY,
+    LOCAL_LUBY,
+    get_algorithm,
+)
 from repro.core.verify import check_ruling_set
 from repro.graph import generators as gen
 from repro.graph.graph import Graph
@@ -37,8 +46,8 @@ WORKLOADS = {
 }
 
 ALGORITHMS = [
-    "local-luby", "local-bitwise", "local-coloring-mis",
-    "det-ruling", "det-luby",
+    LOCAL_LUBY, LOCAL_BITWISE, LOCAL_COLORING_MIS,
+    DET_RULING, DET_LUBY,
 ]
 
 
@@ -55,7 +64,9 @@ def baseline_cell(graph: Graph, cell: SweepCell, extra) -> RunRecord:
                 "local_rounds", result.rounds
             ),
             "model": (
-                "LOCAL" if cell.algorithm.startswith("local") else "MPC"
+                "LOCAL"
+                if get_algorithm(cell.algorithm).family == LOCAL_FAMILY
+                else "MPC"
             ),
             "measured_beta": measured.measured_beta,
         }
@@ -99,13 +110,13 @@ def test_e8_local_baselines(benchmark):
     # baseline's on every workload (2 vs Θ(log n)).
     by_key = {(r.workload, r.algorithm): r for r in records}
     for name in WORKLOADS:
-        det = by_key[(name, "det-ruling")]
-        agl = by_key[(name, "local-bitwise")]
+        det = by_key[(name, DET_RULING)]
+        agl = by_key[(name, LOCAL_BITWISE)]
         assert det.get("measured_beta") <= agl.get("beta_claimed")
 
     graph = WORKLOADS["er-256"]()
     benchmark.pedantic(
-        lambda: solve_ruling_set(graph, algorithm="local-luby"),
+        lambda: solve_ruling_set(graph, algorithm=LOCAL_LUBY),
         rounds=1,
         iterations=1,
     )

@@ -46,6 +46,7 @@ from repro.core.det_luby import (
     det_luby_mis,
 )
 from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import DET_LUBY, DET_RULING
 from repro.core.verify import verify_ruling_set
 from repro.graph import generators as gen
 from repro.mpc.config import MPCConfig
@@ -99,8 +100,8 @@ def run_e10_chunk(chunk_bits: int) -> Measurement:
 
 
 CELLS = {
-    "e1_small_det_ruling": partial(run_e1_small, "det-ruling"),
-    "e1_small_det_luby": partial(run_e1_small, "det-luby"),
+    "e1_small_det_ruling": partial(run_e1_small, DET_RULING),
+    "e1_small_det_luby": partial(run_e1_small, DET_LUBY),
     "e10_chunk1_n256": partial(run_e10_chunk, 1),
     "e10_chunk4_n256": partial(run_e10_chunk, 4),
 }
@@ -218,7 +219,7 @@ def write_trace(path: Path) -> None:
     """
     graph = gen.gnp_random_graph(256, 12, 256, seed=256)
     result = solve_ruling_set(
-        graph, algorithm="det-ruling", beta=2, regime="sublinear",
+        graph, algorithm=DET_RULING, beta=2, regime="sublinear",
         trace=True,
     )
     result.trace.write_jsonl(path)

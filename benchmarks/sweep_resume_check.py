@@ -28,9 +28,11 @@ import time
 from pathlib import Path
 from typing import List
 
+from repro.core.registry import DET_LUBY, DET_RULING
+
 SWEEP_ARGS = [
     "--family", "gnp", "--param", "10",
-    "--algorithms", "det-ruling,det-luby",
+    "--algorithms", f"{DET_RULING},{DET_LUBY}",
     "--regime", "sublinear",
 ]
 

@@ -10,25 +10,34 @@ workload generators and verification oracles needed to benchmark it all.
 
 Quickstart::
 
-    from repro import generators, solve_ruling_set
+    from repro import algorithm_names, generators, solve_ruling_set
 
     graph = generators.gnp_random_graph(300, 1, 10, seed=7)
-    result = solve_ruling_set(graph, algorithm="det-ruling", beta=2)
+    result = solve_ruling_set(graph, beta=2)   # the headline algorithm
     print(result.size, result.rounds, result.metrics["peak_memory_words"])
+    print(algorithm_names())                   # everything registered
 
+Every algorithm is an entry in :mod:`repro.core.registry` — the CLI,
+sweeps, and benchmark drivers all derive their algorithm lists from it.
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 experiment index.
 """
 
 from repro.core import (
+    AlgorithmSpec,
+    MatchingResult,
     RulingSetResult,
+    SolverSession,
+    algorithm_names,
     check_ruling_set,
     det_luby_mis,
     det_ruling_set,
+    get_algorithm,
     greedy_mis,
     greedy_ruling_set,
     rand_luby_mis,
     rand_ruling_set,
+    registry,
     solve_matching,
     solve_ruling_set,
     verify_maximal_matching,
@@ -46,7 +55,13 @@ __all__ = [
     "MPCConfig",
     "Simulator",
     "DistributedGraph",
+    "registry",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "SolverSession",
     "RulingSetResult",
+    "MatchingResult",
     "solve_ruling_set",
     "verify_ruling_set",
     "check_ruling_set",

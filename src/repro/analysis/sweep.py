@@ -181,7 +181,20 @@ def build_cells(spec: SweepSpec) -> List[Cell]:
     Order: workloads sorted by name, then the ``algorithms`` list, then
     ``betas``, then ``regimes`` — the emission order of every sweep,
     serial or parallel.
+
+    The algorithm axis is validated against :mod:`repro.core.registry`
+    up front, so a typo fails the sweep immediately (with the real
+    algorithm list) instead of producing a grid of failure records.
     """
+    from repro.core import registry
+
+    unknown = [a for a in spec.algorithms if not registry.is_registered(a)]
+    if unknown:
+        raise SweepError(
+            f"unknown algorithms in sweep spec: {unknown}; "
+            "registered algorithms: "
+            + ", ".join(registry.algorithm_names())
+        )
     betas = list(spec.betas) if spec.betas is not None else [spec.beta]
     regimes = _normalize_regimes(spec)
     runner = spec.cell_runner if spec.cell_runner is not None else solve_cell

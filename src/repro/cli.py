@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.analysis.sweep import SweepSpec, failures, run_sweep
 from repro.analysis.tables import format_table
+from repro.core import registry
 from repro.core.pipeline import solve_ruling_set
 from repro.core.verify import verify_ruling_set
 from repro.errors import ReproError
@@ -215,19 +216,34 @@ def cmd_match(args) -> int:
     from repro.core.det_matching import solve_matching
 
     graph = _load_or_build(args)
-    matching, metrics = solve_matching(
-        graph, deterministic=not args.randomized, seed=args.seed
+    trace_out = getattr(args, "trace_out", None)
+    result = solve_matching(
+        graph,
+        deterministic=not args.randomized,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        backend=args.backend,
+        backend_workers=args.workers,
+        trace=trace_out is not None,
     )
+    if trace_out is not None:
+        result.trace.write_jsonl(trace_out)
+        if not args.json:
+            print(
+                f"trace:      {trace_out} "
+                f"({len(result.trace.events)} events)"
+            )
     if args.json:
-        payload = dict(metrics)
-        payload["matching"] = [list(edge) for edge in matching]
+        payload = result.summary_row()
+        payload["matching"] = [list(edge) for edge in result.matching]
         print(json.dumps(payload, sort_keys=True))
         return 0
     print(f"graph:         n={graph.num_vertices} m={graph.num_edges}")
-    print(f"matching size: {len(matching)}")
-    print(f"MPC rounds:    {metrics.get('rounds', 0)}")
-    for key in sorted(metrics):
-        print(f"  {key} = {metrics[key]}")
+    print(f"algorithm:     {result.algorithm}")
+    print(f"matching size: {result.size}")
+    print(f"MPC rounds:    {result.rounds}")
+    for key in sorted(result.metrics):
+        print(f"  {key} = {result.metrics[key]}")
     return 0
 
 
@@ -314,10 +330,12 @@ def make_parser() -> argparse.ArgumentParser:
     p_generate.set_defaults(func=cmd_generate)
 
     def _add_solve_options(parser: argparse.ArgumentParser) -> None:
+        # Help text is generated from the registry so it cannot drift
+        # from the real algorithm set again (validation happens in the
+        # driver, whose unknown-name error also enumerates the registry).
         parser.add_argument(
-            "--algorithm", default="det-ruling",
-            help="det-ruling | rand-ruling | det-luby | rand-luby | "
-            "greedy-mis | greedy-ruling | local-luby | local-bitwise",
+            "--algorithm", default=registry.DET_RULING,
+            help=registry.help_text(problem=registry.RULING_SET),
         )
         parser.add_argument("--beta", type=int, default=2)
         parser.add_argument("--alpha", type=int, default=2)
@@ -369,6 +387,23 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_graph_source(p_match)
     p_match.add_argument("--randomized", action="store_true")
+    p_match.add_argument(
+        "--algorithm", default=None,
+        help=registry.help_text(problem=registry.MATCHING)
+        + " (default: picked from --randomized)",
+    )
+    p_match.add_argument(
+        "--backend", default=None, choices=("serial", "process"),
+        help="superstep execution backend (results are bit-identical)",
+    )
+    p_match.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for --backend process (0 = one per CPU)",
+    )
+    p_match.add_argument(
+        "--trace-out", default=None,
+        help="enable the superstep trace and write its JSONL here",
+    )
     p_match.add_argument("--json", action="store_true")
     p_match.set_defaults(func=cmd_match)
 
@@ -399,7 +434,10 @@ def make_parser() -> argparse.ArgumentParser:
         choices=("sublinear", "near-linear", "single"),
     )
     p_sweep.add_argument(
-        "--algorithms", default="det-ruling,det-luby",
+        "--algorithms",
+        default=f"{registry.DET_RULING},{registry.DET_LUBY}",
+        help="comma-separated algorithm names ("
+        + registry.help_text(problem=registry.RULING_SET) + ")",
     )
     p_sweep.add_argument(
         "--jobs", type=int, default=1,

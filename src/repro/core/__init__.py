@@ -2,10 +2,18 @@
 
 Public surface:
 
-* :func:`repro.core.pipeline.solve_ruling_set` — one-call driver: builds
-  the simulator for a chosen regime, runs the requested algorithm,
-  verifies the output, and returns a :class:`~repro.core.spec.RulingSetResult`
-  with full MPC metrics.
+* :mod:`~repro.core.registry` — the algorithm registry: one
+  :class:`~repro.core.registry.AlgorithmSpec` per algorithm (canonical
+  name, model family, problem, capability flags, runner).  The single
+  source of algorithm names for the drivers, CLI, sweeps, and benches.
+* :class:`~repro.core.session.SolverSession` — the one MPC lifecycle
+  (regime sizing, backend/trace wiring, simulator context, collection,
+  metrics assembly) every registered algorithm runs through.
+* :func:`repro.core.pipeline.solve_ruling_set` /
+  :func:`repro.core.det_matching.solve_matching` — one-call drivers:
+  thin registry lookups over the session, plus ground-truth
+  verification, returning :class:`~repro.core.spec.RulingSetResult` /
+  :class:`~repro.core.spec.MatchingResult` with full MPC metrics.
 * :mod:`~repro.core.det_ruling` — deterministic ``(2, β)``-ruling sets via
   derandomized sparsify-and-gather (the headline algorithm).
 * :mod:`~repro.core.det_luby` — deterministic MIS via the derandomized
@@ -17,7 +25,8 @@ Public surface:
   oracle and ground-truth verification.
 """
 
-from repro.core.spec import RulingSetResult
+from repro.core import registry
+from repro.core.spec import MatchingResult, RulingSetResult
 from repro.core.verify import verify_ruling_set, check_ruling_set
 from repro.core.greedy import greedy_mis, greedy_ruling_set
 from repro.core.det_luby import det_luby_mis
@@ -29,10 +38,18 @@ from repro.core.det_matching import (
     solve_matching,
     verify_maximal_matching,
 )
+from repro.core.registry import AlgorithmSpec, algorithm_names, get_algorithm
+from repro.core.session import SolverSession
 from repro.core.pipeline import solve_ruling_set
 
 __all__ = [
+    "registry",
+    "AlgorithmSpec",
+    "algorithm_names",
+    "get_algorithm",
+    "SolverSession",
     "RulingSetResult",
+    "MatchingResult",
     "verify_ruling_set",
     "check_ruling_set",
     "greedy_mis",

@@ -21,7 +21,7 @@ by BFS on the original graph.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.det_ruling import det_ruling_set
 from repro.core.exponentiation import power_graph_adjacency
@@ -40,6 +40,7 @@ def det_alpha_ruling_set(
     chooser=None,
     luby_chooser=None,
     luby_allow_stalls: int = 0,
+    power_adjacency: Optional[Dict[int, Tuple[int, ...]]] = None,
 ) -> Tuple[int, Dict[str, int]]:
     """Compute an ``(alpha, beta * (alpha - 1))``-ruling set of ``G``.
 
@@ -48,6 +49,17 @@ def det_alpha_ruling_set(
     ``store[in_set_key]`` as usual.  The original adjacency is preserved
     under ``store[ORIGINAL_ADJ]`` for any post-processing the caller
     wants to do (the engine consumes the power adjacency).
+
+    ``power_adjacency`` is the ``G^{α-1}`` adjacency when the caller has
+    already built it — :class:`~repro.core.session.SolverSession`
+    materialises it once for regime sizing and passes it here, so a
+    one-call solve does not derive the same graph twice.  It is
+    installed under the ``alpha-exponentiation`` phase in one
+    budget-charged local step (each machine's slice of the power graph
+    must fit its memory exactly as if exponentiation had produced it).
+    When ``None`` (direct engine callers), the in-model doubling
+    primitive builds it, pricing the ``O(log α)`` exponentiation rounds
+    — E9 measures that path explicitly.
     """
     if alpha < 2:
         raise AlgorithmError(f"alpha must be >= 2, got {alpha}")
@@ -64,14 +76,25 @@ def det_alpha_ruling_set(
         return beta, counters
 
     sim.begin_phase("alpha-exponentiation")
-    power_graph_adjacency(dg, alpha - 1, out_adj_key="alpha_power_adj")
+    if power_adjacency is None:
+        power_graph_adjacency(dg, alpha - 1, out_adj_key="alpha_power_adj")
 
-    def swap_in_power(machine: Machine) -> None:
-        machine.store[ORIGINAL_ADJ] = machine.store[ADJ]
-        machine.store[ADJ] = machine.store.pop("alpha_power_adj")
-        machine.store.pop("exp_balls", None)
+        def swap_in_power(machine: Machine) -> None:
+            machine.store[ORIGINAL_ADJ] = machine.store[ADJ]
+            machine.store[ADJ] = machine.store.pop("alpha_power_adj")
+            machine.store.pop("exp_balls", None)
 
-    sim.local(swap_in_power)
+        sim.local(swap_in_power)
+    else:
+
+        def install_prebuilt(machine: Machine) -> None:
+            adj = machine.store[ADJ]
+            machine.store[ORIGINAL_ADJ] = adj
+            machine.store[ADJ] = {
+                v: tuple(power_adjacency.get(v, ())) for v in adj
+            }
+
+        sim.local(install_prebuilt)
     counters = det_ruling_set(
         dg, beta=beta, in_set_key=in_set_key,
         chooser=chooser, luby_chooser=luby_chooser,

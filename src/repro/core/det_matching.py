@@ -26,7 +26,7 @@ the simulator faults where the model genuinely cannot afford it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.det_luby import det_luby_mis
 from repro.errors import AlgorithmError
@@ -54,28 +54,36 @@ def line_graph_words(graph: Graph) -> int:
     return base + 3 * graph.num_edges + degree_sq
 
 
-def matching_config(graph: Graph, alpha=(2, 3), slack: int = 8):
+def matching_config(
+    graph: Graph, alpha=(2, 3), slack: int = 8, regime: str = "sublinear"
+):
     """An MPC regime sized for the *line graph* this module builds.
 
     The aggregate footprint is :func:`line_graph_words`; the per-machine
     floor is Ω(Δ²) because a degree-Δ vertex's owner emits Δ incidence
-    lists of Δ words in the construction's reflect round.
+    lists of Δ words in the construction's reflect round.  ``regime``
+    selects the same named regimes as the ruling-set path (``sublinear``
+    / ``near-linear`` / ``single``), all sized for the line graph.
     """
     from repro.mpc.config import MPCConfig
 
     n = max(2, graph.num_vertices)
     pseudo_m = max(0, (line_graph_words(graph) - n + 1) // 2)
-    base = MPCConfig.sublinear(
-        n,
-        pseudo_m,
-        alpha[0],
-        alpha[1],
-        slack=slack,
-        # Ω(Δ²) per-machine floor: the machine holding a degree-Δ
-        # vertex's edges keeps ~2Δ² conflict entries and the Luby engine
-        # multiplies that by its per-entry constant.
-        max_degree=max(graph.max_degree(), graph.max_degree() ** 2),
-    )
+    # Ω(Δ²) per-machine floor: the machine holding a degree-Δ vertex's
+    # edges keeps ~2Δ² conflict entries and the Luby engine multiplies
+    # that by its per-entry constant.
+    degree_floor = max(graph.max_degree(), graph.max_degree() ** 2)
+    if regime == "sublinear":
+        base = MPCConfig.sublinear(
+            n, pseudo_m, alpha[0], alpha[1],
+            slack=slack, max_degree=degree_floor,
+        )
+    elif regime == "near-linear":
+        base = MPCConfig.near_linear(n, pseudo_m, max_degree=degree_floor)
+    elif regime == "single":
+        base = MPCConfig.single_machine(n, pseudo_m)
+    else:
+        raise AlgorithmError(f"unknown regime {regime!r}")
     # A matching run carries *two* compact owner tables (vertex ids and
     # edge ids) and pushes 3-word values over the heavier line-graph
     # adjacency, so double the per-machine memory relative to the
@@ -222,39 +230,64 @@ def solve_matching(
     deterministic: bool = True,
     seed: int = 0,
     verify: bool = True,
-) -> Tuple[List[Tuple[int, int]], Dict[str, int]]:
+    algorithm: Optional[str] = None,
+    regime: str = "sublinear",
+    alpha_mem: Tuple[int, int] = (2, 3),
+    config=None,
+    backend: Optional[str] = None,
+    backend_workers: int = 0,
+    trace: bool = False,
+    trace_warn_utilization: float = 0.9,
+) -> "MatchingResult":
     """One-call driver: build the regime, run, verify, return the matching.
 
-    Returns ``(matching, metrics)`` where metrics include the MPC
-    summary, engine counters, and the regime parameters.
-    """
-    from repro.core.rand_baselines import random_luby_chooser
-    from repro.mpc.config import MPCConfig
-    from repro.mpc.simulator import Simulator
-    from repro.util.rng import SplitMix64
+    A thin registry lookup over :class:`~repro.core.session.SolverSession`
+    — the same dispatch and lifecycle as ``solve_ruling_set``, which is
+    what gives matching the full driver surface: named ``regime`` /
+    explicit ``config``, ``backend`` / ``backend_workers`` fan-out, and
+    the superstep ``trace`` (all with the usual bit-identity contracts).
 
+    ``algorithm`` is any registered matching algorithm name; when
+    ``None`` it is picked from the ``deterministic`` flag
+    (:data:`~repro.core.registry.DET_MATCHING` /
+    :data:`~repro.core.registry.RAND_MATCHING`).
+
+    Returns a :class:`~repro.core.spec.MatchingResult`; iterating it
+    yields ``(matching, metrics)``, so existing tuple-unpacking callers
+    are unaffected.
+    """
+    from repro.core import registry
+    from repro.core.session import SolverSession
+    from repro.core.spec import MatchingResult
+
+    if algorithm is None:
+        algorithm = (
+            registry.DET_MATCHING if deterministic else registry.RAND_MATCHING
+        )
+    spec = registry.get_algorithm(algorithm)
+    if spec.problem != registry.MATCHING:
+        raise AlgorithmError(
+            f"{algorithm!r} solves {spec.problem!r}, not "
+            f"{registry.MATCHING!r}; matching algorithms: "
+            + ", ".join(registry.algorithm_names(problem=registry.MATCHING))
+        )
     if graph.num_vertices == 0:
-        return [], {"rounds": 0}
-    cfg = matching_config(graph)
-    # Context manager so backend worker pools are released even when the
-    # solve raises (same lifecycle contract as core.pipeline).
-    with Simulator(cfg) as sim:
-        dg = DistributedGraph.load(sim, graph)
-        if deterministic:
-            matching, counters = det_maximal_matching(dg)
-        else:
-            matching, counters = det_maximal_matching(
-                dg,
-                chooser=random_luby_chooser(SplitMix64(seed=seed)),
-                allow_stalls=64,
-            )
+        return MatchingResult(
+            matching=[], algorithm=algorithm, metrics={"rounds": 0}
+        )
+    session = SolverSession(
+        graph, spec, regime=regime, alpha_mem=alpha_mem, config=config,
+        seed=seed, backend=backend, backend_workers=backend_workers,
+        trace=trace, trace_warn_utilization=trace_warn_utilization,
+    )
+    run = session.run()
     if verify:
-        verify_maximal_matching(graph, matching)
-    metrics: Dict[str, int] = dict(sim.metrics.summary())
-    metrics.update({f"alg_{k}": v for k, v in counters.items()})
-    metrics["num_machines"] = cfg.num_machines
-    metrics["memory_words"] = cfg.memory_words
-    return matching, metrics
+        verify_maximal_matching(graph, run.payload.matching)
+    return MatchingResult(
+        matching=run.payload.matching,
+        algorithm=algorithm,
+        **run.stats.result_kwargs(),
+    )
 
 
 def verify_maximal_matching(

@@ -1,65 +1,60 @@
 """One-call drivers: graph in, verified ruling set + metrics out.
 
-:func:`solve_ruling_set` wires together the regime configuration, the
-simulator, the distributed graph, the requested algorithm, result
-collection, and ground-truth verification.  This is the function the
-examples and benchmarks call; using it guarantees that every number a
-benchmark reports comes from a budget-enforced, verified run.
+:func:`solve_ruling_set` is a thin dispatch layer: it looks the
+requested algorithm up in :mod:`repro.core.registry`, hands the run to
+:class:`repro.core.session.SolverSession` (which owns the whole MPC
+lifecycle — regime sizing, backend/trace wiring, simulator entry/exit,
+collection, metrics assembly), and verifies the output against the
+sequential ground truth.  This is the function the examples and
+benchmarks call; using it guarantees that every number a benchmark
+reports comes from a budget-enforced, verified run.
+
+The name tuples below (``MPC_ALGORITHMS`` …) are *views* of the registry
+kept for backward compatibility — the registry is the single source of
+truth, and adding an algorithm there makes it appear here (and in the
+CLI, sweeps, and benches) automatically.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.core.det_luby import det_luby_mis
-from repro.core.det_ruling import det_ruling_set
-from repro.core.greedy import greedy_mis, greedy_ruling_set
-from repro.core.rand_baselines import rand_luby_mis, rand_ruling_set
+from repro.core import registry
+from repro.core.registry import (
+    LOCAL_FAMILY,
+    MPC_FAMILY,
+    RULING_SET,
+    SEQUENTIAL_FAMILY,
+)
+from repro.core.session import SolverSession, make_config
 from repro.core.spec import RulingSetResult
 from repro.core.verify import verify_ruling_set
 from repro.errors import AlgorithmError
 from repro.graph.graph import Graph
-from repro.local.algorithms.agl_ruling import run_bitwise_ruling_set
-from repro.local.algorithms.linial_coloring import run_coloring_mis
-from repro.local.algorithms.luby_mis import run_luby_mis
 from repro.mpc.config import MPCConfig
-from repro.mpc.graph_store import DistributedGraph
-from repro.mpc.simulator import Simulator
-from repro.util.mathx import ilog2_ceil
 
-MPC_ALGORITHMS = (
-    "det-ruling",
-    "rand-ruling",
-    "det-luby",
-    "rand-luby",
+__all__ = [
+    "MPC_ALGORITHMS",
+    "SEQUENTIAL_ALGORITHMS",
+    "LOCAL_ALGORITHMS",
+    "make_config",
+    "solve_ruling_set",
+]
+
+MPC_ALGORITHMS = registry.algorithm_names(
+    family=MPC_FAMILY, problem=RULING_SET
 )
-SEQUENTIAL_ALGORITHMS = ("greedy-mis", "greedy-ruling")
-LOCAL_ALGORITHMS = ("local-luby", "local-bitwise", "local-coloring-mis")
-
-
-def make_config(
-    graph: Graph, regime: str = "sublinear", alpha: Tuple[int, int] = (2, 3)
-) -> MPCConfig:
-    """Build the :class:`MPCConfig` for a named regime.
-
-    ``regime`` is ``"sublinear"`` (``S ≈ n^alpha``), ``"near-linear"``,
-    or ``"single"``; pass an explicit :class:`MPCConfig` to
-    :func:`solve_ruling_set` for anything else.
-    """
-    n, m = graph.num_vertices, graph.num_edges
-    delta = graph.max_degree()
-    if regime == "sublinear":
-        return MPCConfig.sublinear(n, m, alpha[0], alpha[1], max_degree=delta)
-    if regime == "near-linear":
-        return MPCConfig.near_linear(n, m, max_degree=delta)
-    if regime == "single":
-        return MPCConfig.single_machine(n, m)
-    raise AlgorithmError(f"unknown regime {regime!r}")
+SEQUENTIAL_ALGORITHMS = registry.algorithm_names(
+    family=SEQUENTIAL_FAMILY, problem=RULING_SET
+)
+LOCAL_ALGORITHMS = registry.algorithm_names(
+    family=LOCAL_FAMILY, problem=RULING_SET
+)
 
 
 def solve_ruling_set(
     graph: Graph,
-    algorithm: str = "det-ruling",
+    algorithm: Optional[str] = None,
     beta: int = 2,
     alpha: int = 2,
     regime: str = "sublinear",
@@ -77,22 +72,24 @@ def solve_ruling_set(
     Parameters
     ----------
     algorithm:
-        One of ``det-ruling`` / ``rand-ruling`` (``(2, β)``-ruling set),
-        ``det-luby`` / ``rand-luby`` (MIS), ``greedy-mis`` /
-        ``greedy-ruling`` (sequential oracles), ``local-luby`` /
-        ``local-bitwise`` / ``local-coloring-mis`` (LOCAL baselines).
+        Any registered ruling-set algorithm name (defaults to the
+        paper's headline, :data:`repro.core.registry.DET_RULING`); ask
+        :func:`repro.core.registry.algorithm_names` for the list, or
+        pass a wrong name — the error enumerates the registry.
     beta:
         Domination radius for the ruling-set algorithms (≥ 2).
     alpha:
         Independence radius (default 2 = plain independence).  ``alpha
-        > 2`` is supported by ``det-ruling`` / ``rand-ruling`` (via graph
-        exponentiation; the claimed domination becomes ``beta * (alpha -
-        1)``) and by ``greedy-ruling`` (claimed ``alpha - 1``).
+        > 2`` is supported exactly by the algorithms whose registry spec
+        sets ``supports_alpha_gt2`` (power-graph reduction for the MPC
+        engines — the claimed domination becomes ``beta * (alpha - 1)``
+        — native for the greedy oracle, claimed ``alpha - 1``).
     regime / alpha_mem / config:
         MPC regime selection for the MPC algorithms; ``config`` overrides
         the named regime.
     seed:
-        PRG seed for the randomized algorithms.
+        PRG seed for the randomized algorithms (``uses_seed`` in the
+        registry; the deterministic ones ignore it, pinned by test).
     verify:
         Check the output against the sequential oracle (recommended; all
         benchmarks keep it on).
@@ -113,159 +110,45 @@ def solve_ruling_set(
     reflect the enforced MPC execution (0 rounds for sequential/LOCAL
     algorithms, whose round counts appear under ``metrics``).
     """
+    if algorithm is None:
+        algorithm = registry.DET_RULING
     if graph.num_vertices == 0:
+        registry.get_algorithm(algorithm)  # typos fail loudly on any input
         return RulingSetResult(
             members=[], alpha=alpha, beta=beta, algorithm=algorithm
         )
     if alpha < 2:
         raise AlgorithmError(f"alpha must be >= 2, got {alpha}")
-    if alpha > 2 and algorithm not in (
-        "det-ruling", "rand-ruling", "greedy-ruling"
-    ):
+    spec = registry.get_algorithm(algorithm)
+    if spec.problem != RULING_SET:
         raise AlgorithmError(
-            f"alpha > 2 is not supported by {algorithm!r}"
+            f"{algorithm!r} solves {spec.problem!r}, not {RULING_SET!r}; "
+            f"ruling-set algorithms: "
+            + ", ".join(registry.algorithm_names(problem=RULING_SET))
         )
+    if alpha > 2 and not spec.supports_alpha_gt2:
+        raise AlgorithmError(f"alpha > 2 is not supported by {algorithm!r}")
 
-    if algorithm in SEQUENTIAL_ALGORITHMS:
-        if algorithm == "greedy-mis":
-            members, claimed_beta = greedy_mis(graph), 1
-        else:
-            members = greedy_ruling_set(graph, alpha=alpha)
-            claimed_beta = alpha - 1
-        result = RulingSetResult(
-            members=members, alpha=alpha, beta=claimed_beta,
-            algorithm=algorithm,
-        )
-    elif algorithm in LOCAL_ALGORITHMS:
-        extra_metrics = {}
-        if algorithm == "local-luby":
-            members, rounds = run_luby_mis(graph, seed=seed)
-            claimed_beta = 1
-        elif algorithm == "local-coloring-mis":
-            members, rounds, palette = run_coloring_mis(graph)
-            claimed_beta = 1
-            extra_metrics["palette"] = palette
-        else:
-            members, rounds = run_bitwise_ruling_set(graph)
-            claimed_beta = max(1, ilog2_ceil(max(2, graph.num_vertices)))
-        result = RulingSetResult(
-            members=members, alpha=2, beta=claimed_beta,
-            algorithm=algorithm,
-            metrics={"local_rounds": rounds, **extra_metrics},
-        )
-    elif algorithm in MPC_ALGORITHMS:
-        result = _solve_mpc(
-            graph, algorithm, beta, alpha, regime, alpha_mem, config, seed,
-            backend=backend, backend_workers=backend_workers,
-            trace=trace, trace_warn_utilization=trace_warn_utilization,
-        )
-    else:
-        raise AlgorithmError(f"unknown algorithm {algorithm!r}")
+    session = SolverSession(
+        graph, spec, beta=beta, alpha=alpha, regime=regime,
+        alpha_mem=alpha_mem, config=config, seed=seed,
+        backend=backend, backend_workers=backend_workers,
+        trace=trace, trace_warn_utilization=trace_warn_utilization,
+    )
+    run = session.run()
+    claimed_beta = spec.claimed_beta(graph, alpha, beta)
+    # The LOCAL baselines only ever claim plain independence.
+    result_alpha = 2 if spec.family == LOCAL_FAMILY else alpha
+    result = RulingSetResult(
+        members=run.payload.members,
+        alpha=result_alpha,
+        beta=claimed_beta,
+        algorithm=algorithm,
+        **run.stats.result_kwargs(),
+    )
 
     if verify:
         verify_ruling_set(
             graph, result.members, alpha=result.alpha, beta=result.beta
         )
     return result
-
-
-def _solve_mpc(
-    graph: Graph,
-    algorithm: str,
-    beta: int,
-    alpha: int,
-    regime: str,
-    alpha_mem: Tuple[int, int],
-    config: Optional[MPCConfig],
-    seed: int,
-    backend: Optional[str] = None,
-    backend_workers: int = 0,
-    trace: bool = False,
-    trace_warn_utilization: float = 0.9,
-) -> RulingSetResult:
-    sizing_graph = graph
-    if alpha > 2:
-        # The machines will hold G^(alpha-1); size the regime for it.
-        from repro.graph.ops import power_graph
-
-        sizing_graph = power_graph(graph, alpha - 1)
-    cfg = (
-        config
-        if config is not None
-        else make_config(sizing_graph, regime, alpha_mem)
-    )
-    if backend is not None:
-        cfg = cfg.with_backend(backend, backend_workers)
-    if trace and not cfg.trace:
-        cfg = cfg.with_trace(warn_utilization=trace_warn_utilization)
-    cfg.validate_input_size(
-        MPCConfig.input_words(
-            sizing_graph.num_vertices, sizing_graph.num_edges
-        )
-    )
-    # Context manager, not a trailing shutdown() call: a solve that
-    # raises (e.g. MPCViolationError) must still release the backend's
-    # worker pools, or every failed run leaks processes.
-    with Simulator(cfg) as sim:
-        dg = DistributedGraph.load(sim, graph)
-
-        if algorithm == "det-luby":
-            counters = det_luby_mis(dg, in_set_key="result_set")
-            claimed_beta = 1
-        elif algorithm == "rand-luby":
-            counters = rand_luby_mis(dg, in_set_key="result_set", seed=seed)
-            claimed_beta = 1
-        elif algorithm == "det-ruling":
-            if alpha > 2:
-                from repro.core.alpha_ruling import det_alpha_ruling_set
-
-                claimed_beta, counters = det_alpha_ruling_set(
-                    dg, alpha=alpha, beta=beta, in_set_key="result_set"
-                )
-            else:
-                counters = det_ruling_set(
-                    dg, beta=beta, in_set_key="result_set"
-                )
-                claimed_beta = beta
-        else:  # rand-ruling
-            if alpha > 2:
-                from repro.core.alpha_ruling import det_alpha_ruling_set
-                from repro.core.rand_baselines import (
-                    random_luby_chooser,
-                    random_sampling_chooser,
-                )
-                from repro.util.rng import SplitMix64
-
-                rng = SplitMix64(seed=seed)
-                claimed_beta, counters = det_alpha_ruling_set(
-                    dg, alpha=alpha, beta=beta, in_set_key="result_set",
-                    chooser=random_sampling_chooser(rng.fork(1)),
-                    luby_chooser=random_luby_chooser(rng.fork(2)),
-                    luby_allow_stalls=64,
-                )
-            else:
-                counters = rand_ruling_set(
-                    dg, beta=beta, in_set_key="result_set", seed=seed
-                )
-                claimed_beta = beta
-
-        members = dg.collect_marked("result_set")
-    metrics = dict(sim.metrics.summary())
-    metrics.update({f"alg_{key}": value for key, value in counters.items()})
-    metrics["num_machines"] = cfg.num_machines
-    metrics["memory_words"] = cfg.memory_words
-    return RulingSetResult(
-        members=members,
-        alpha=alpha,
-        beta=claimed_beta,
-        algorithm=algorithm,
-        rounds=sim.metrics.rounds,
-        metrics=metrics,
-        phase_rounds=sim.metrics.phase_rounds(),
-        wall_time_s=round(sim.metrics.wall_time_s, 6),
-        time_per_phase={
-            phase: round(seconds, 6)
-            for phase, seconds in sim.metrics.time_per_phase.items()
-        },
-        trace=sim.trace,
-    )

@@ -1,0 +1,549 @@
+"""The algorithm registry: one :class:`AlgorithmSpec` per algorithm.
+
+This module is the **single source of truth** for algorithm names.  Every
+other layer — the one-call drivers (:mod:`repro.core.pipeline`,
+:func:`repro.core.det_matching.solve_matching`), the CLI, the sweep
+engine's algorithm axis, and the benchmark drivers — derives its name
+lists, capability checks, and dispatch from here.  A drift-guard test
+(``tests/core/test_registry_drift.py``) enforces that no module under
+``src/`` or ``benchmarks/`` spells an algorithm name as a string literal;
+code refers to the exported constants (:data:`DET_RULING`, …) or asks
+the registry.
+
+Adding an algorithm is a one-registration change::
+
+    register(AlgorithmSpec(
+        name="my-alg",                      # canonical CLI/sweep name
+        family=MPC_FAMILY,                  # mpc | local | sequential
+        problem=RULING_SET,                 # ruling-set | matching
+        description="what it computes",
+        runner=_run_my_alg,                 # see runner contract below
+        claimed_beta=lambda graph, alpha, beta: beta,
+        supports_alpha_gt2=False,
+        uses_seed=False,
+    ))
+
+and it appears everywhere automatically: ``solve_ruling_set`` dispatches
+to it, the CLI ``--algorithm`` help lists it, sweeps validate it, and the
+drift guard starts protecting its name.
+
+Runner contract
+---------------
+A runner is a module-level callable ``runner(ctx) -> RunPayload`` where
+``ctx`` is a :class:`RunContext`.  For ``mpc``-family algorithms the
+context carries the live simulator objects (``ctx.dg`` / ``ctx.sim``)
+plus the regime artifacts the session built once (notably
+``ctx.power_adjacency`` for α > 2); ruling-set runners mark members
+under ``ctx.in_set_key`` and return counters, matching runners return
+the matching edges directly.  ``local`` / ``sequential`` runners consume
+only ``ctx.graph`` / ``ctx.alpha`` / ``ctx.beta`` / ``ctx.seed`` and
+return members (plus LOCAL rounds) in the payload.  Runners import
+their algorithm modules lazily so the registry stays import-cycle-free.
+
+The MPC *lifecycle* (regime sizing, backend/trace wiring, simulator
+entry/exit, collection, metrics assembly) is owned by
+:class:`repro.core.session.SolverSession` — runners only run the
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import AlgorithmError
+from repro.util.mathx import ilog2_ceil
+
+if TYPE_CHECKING:  # type-only: the registry imports no heavy modules
+    from repro.graph.graph import Graph
+    from repro.mpc.config import MPCConfig
+    from repro.mpc.graph_store import DistributedGraph
+    from repro.mpc.simulator import Simulator
+
+# ---------------------------------------------------------------------------
+# Canonical names — the ONLY place these strings are spelled in src/ or
+# benchmarks/ (enforced by the drift-guard test).
+# ---------------------------------------------------------------------------
+
+DET_RULING = "det-ruling"
+RAND_RULING = "rand-ruling"
+DET_LUBY = "det-luby"
+RAND_LUBY = "rand-luby"
+GREEDY_MIS = "greedy-mis"
+GREEDY_RULING = "greedy-ruling"
+LOCAL_LUBY = "local-luby"
+LOCAL_BITWISE = "local-bitwise"
+LOCAL_COLORING_MIS = "local-coloring-mis"
+DET_MATCHING = "det-matching"
+RAND_MATCHING = "rand-matching"
+
+#: Model families an algorithm can execute in.
+MPC_FAMILY = "mpc"
+LOCAL_FAMILY = "local"
+SEQUENTIAL_FAMILY = "sequential"
+FAMILIES = (MPC_FAMILY, LOCAL_FAMILY, SEQUENTIAL_FAMILY)
+
+#: Problem kinds the registry knows about.
+RULING_SET = "ruling-set"
+MATCHING = "matching"
+PROBLEMS = (RULING_SET, MATCHING)
+
+
+# ---------------------------------------------------------------------------
+# Runner plumbing types
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunContext:
+    """Everything a runner may consume, prepared once by the session.
+
+    ``dg`` / ``sim`` are populated only for ``mpc``-family runs (inside
+    the session's simulator context).  ``power_adjacency`` is the
+    ``G^{α-1}`` adjacency the session materialised **once** for α > 2 —
+    regime sizing and execution share the same build instead of each
+    recomputing it.
+    """
+
+    graph: "Graph"
+    alpha: int = 2
+    beta: int = 2
+    seed: int = 0
+    dg: Optional["DistributedGraph"] = None
+    sim: Optional["Simulator"] = None
+    power_adjacency: Optional[Dict[int, Tuple[int, ...]]] = None
+    in_set_key: str = "result_set"
+
+
+@dataclass
+class RunPayload:
+    """What a runner hands back to the session.
+
+    ``members`` is left ``None`` by MPC ruling-set runners — the session
+    collects marked vertices from the distributed graph itself, so every
+    algorithm shares one collection path.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    members: Optional[List[int]] = None
+    matching: Optional[List[Tuple[int, int]]] = None
+    local_rounds: Optional[int] = None
+    extra_metrics: Dict[str, object] = field(default_factory=dict)
+
+
+#: ``claimed_beta(graph, alpha, beta) -> int`` — the domination radius
+#: the algorithm *claims* for a run with those parameters (verification
+#: measures the actual radius against this claim).
+ClaimedBeta = Callable[["Graph", int, int], int]
+
+#: ``config_factory(sizing_graph, regime, alpha_mem) -> MPCConfig`` —
+#: how an MPC-family algorithm sizes its regime.  ``sizing_graph`` is
+#: the graph the machines must actually hold (``G^{α-1}`` for α > 2,
+#: built once by the session).
+ConfigFactory = Callable[["Graph", str, Tuple[int, int]], "MPCConfig"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm: identity, capabilities, and dispatch.
+
+    Attributes
+    ----------
+    name:
+        Canonical name (CLI ``--algorithm`` value, sweep axis entry,
+        record label).
+    family:
+        Execution model: ``mpc`` (runs on the enforcing simulator),
+        ``local`` (LOCAL-model simulator), or ``sequential`` (oracle).
+    problem:
+        ``ruling-set`` or ``matching``.
+    description:
+        One line for generated help / docs tables.
+    runner:
+        The runner callable (see the module docstring contract).
+    claimed_beta:
+        Claimed domination radius as a function of the run parameters
+        (``None`` for problems where β is meaningless, e.g. matching).
+    supports_alpha_gt2:
+        Whether the algorithm accepts an independence radius α > 2
+        (via power-graph reduction or native support).
+    uses_seed:
+        Whether the ``seed`` parameter influences the output.  Seedless
+        algorithms must produce bit-identical results for every seed
+        (pinned by test).
+    config_factory:
+        Regime sizing for ``mpc``-family algorithms; ``None`` selects
+        the session's default (:func:`repro.core.session.make_config`
+        over the sizing graph).
+    """
+
+    name: str
+    family: str
+    problem: str
+    description: str
+    runner: Callable[[RunContext], RunPayload]
+    claimed_beta: Optional[ClaimedBeta] = None
+    supports_alpha_gt2: bool = False
+    uses_seed: bool = False
+    config_factory: Optional[ConfigFactory] = None
+
+
+# ---------------------------------------------------------------------------
+# Registry storage and lookup
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Add ``spec`` to the registry (rejecting duplicates and bad enums)."""
+    if spec.family not in FAMILIES:
+        raise AlgorithmError(
+            f"unknown family {spec.family!r} for {spec.name!r}; "
+            f"expected one of {FAMILIES}"
+        )
+    if spec.problem not in PROBLEMS:
+        raise AlgorithmError(
+            f"unknown problem {spec.problem!r} for {spec.name!r}; "
+            f"expected one of {PROBLEMS}"
+        )
+    if spec.name in _REGISTRY:
+        raise AlgorithmError(f"algorithm {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a spec by canonical name.
+
+    Unknown names raise :class:`AlgorithmError` enumerating the real
+    registry contents, so the error is self-documenting.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; registered algorithms: "
+            + ", ".join(_REGISTRY)
+        ) from None
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` is a registered algorithm."""
+    return name in _REGISTRY
+
+
+def algorithm_specs(
+    family: Optional[str] = None, problem: Optional[str] = None
+) -> Tuple[AlgorithmSpec, ...]:
+    """All specs, optionally filtered, in registration order."""
+    return tuple(
+        spec
+        for spec in _REGISTRY.values()
+        if (family is None or spec.family == family)
+        and (problem is None or spec.problem == problem)
+    )
+
+
+def algorithm_names(
+    family: Optional[str] = None, problem: Optional[str] = None
+) -> Tuple[str, ...]:
+    """All canonical names, optionally filtered, in registration order."""
+    return tuple(
+        spec.name for spec in algorithm_specs(family=family, problem=problem)
+    )
+
+
+def help_text(problem: Optional[str] = None) -> str:
+    """``name | name | …`` for generated CLI help (cannot drift)."""
+    return " | ".join(algorithm_names(problem=problem))
+
+
+def markdown_table(problem: Optional[str] = None) -> str:
+    """The algorithm table for README/docs, regenerated from the registry."""
+    lines = [
+        "| Algorithm | Model | Problem | α>2 | Seeded | What it computes |",
+        "|---|---|---|---|---|---|",
+    ]
+    for spec in algorithm_specs(problem=problem):
+        lines.append(
+            f"| `{spec.name}` | {spec.family.upper()} | {spec.problem} "
+            f"| {'yes' if spec.supports_alpha_gt2 else '—'} "
+            f"| {'yes' if spec.uses_seed else '—'} "
+            f"| {spec.description} |"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Runners — lazy imports keep the registry cycle-free and cheap to load.
+# ---------------------------------------------------------------------------
+
+
+def _run_det_ruling(ctx: RunContext) -> RunPayload:
+    from repro.core.det_ruling import det_ruling_set
+
+    if ctx.alpha > 2:
+        from repro.core.alpha_ruling import det_alpha_ruling_set
+
+        _, counters = det_alpha_ruling_set(
+            ctx.dg, alpha=ctx.alpha, beta=ctx.beta,
+            in_set_key=ctx.in_set_key,
+            power_adjacency=ctx.power_adjacency,
+        )
+        return RunPayload(counters=counters)
+    counters = det_ruling_set(ctx.dg, beta=ctx.beta, in_set_key=ctx.in_set_key)
+    return RunPayload(counters=counters)
+
+
+def _run_rand_ruling(ctx: RunContext) -> RunPayload:
+    from repro.core.rand_baselines import rand_ruling_set
+
+    if ctx.alpha > 2:
+        from repro.core.alpha_ruling import det_alpha_ruling_set
+        from repro.core.rand_baselines import (
+            random_luby_chooser,
+            random_sampling_chooser,
+        )
+        from repro.util.rng import SplitMix64
+
+        rng = SplitMix64(seed=ctx.seed)
+        _, counters = det_alpha_ruling_set(
+            ctx.dg, alpha=ctx.alpha, beta=ctx.beta,
+            in_set_key=ctx.in_set_key,
+            chooser=random_sampling_chooser(rng.fork(1)),
+            luby_chooser=random_luby_chooser(rng.fork(2)),
+            luby_allow_stalls=64,
+            power_adjacency=ctx.power_adjacency,
+        )
+        return RunPayload(counters=counters)
+    counters = rand_ruling_set(
+        ctx.dg, beta=ctx.beta, in_set_key=ctx.in_set_key, seed=ctx.seed
+    )
+    return RunPayload(counters=counters)
+
+
+def _run_det_luby(ctx: RunContext) -> RunPayload:
+    from repro.core.det_luby import det_luby_mis
+
+    return RunPayload(
+        counters=det_luby_mis(ctx.dg, in_set_key=ctx.in_set_key)
+    )
+
+
+def _run_rand_luby(ctx: RunContext) -> RunPayload:
+    from repro.core.rand_baselines import rand_luby_mis
+
+    return RunPayload(
+        counters=rand_luby_mis(ctx.dg, in_set_key=ctx.in_set_key, seed=ctx.seed)
+    )
+
+
+def _run_greedy_mis(ctx: RunContext) -> RunPayload:
+    from repro.core.greedy import greedy_mis
+
+    return RunPayload(members=greedy_mis(ctx.graph))
+
+
+def _run_greedy_ruling(ctx: RunContext) -> RunPayload:
+    from repro.core.greedy import greedy_ruling_set
+
+    return RunPayload(members=greedy_ruling_set(ctx.graph, alpha=ctx.alpha))
+
+
+def _run_local_luby(ctx: RunContext) -> RunPayload:
+    from repro.local.algorithms.luby_mis import run_luby_mis
+
+    members, rounds = run_luby_mis(ctx.graph, seed=ctx.seed)
+    return RunPayload(members=members, local_rounds=rounds)
+
+
+def _run_local_bitwise(ctx: RunContext) -> RunPayload:
+    from repro.local.algorithms.agl_ruling import run_bitwise_ruling_set
+
+    members, rounds = run_bitwise_ruling_set(ctx.graph)
+    return RunPayload(members=members, local_rounds=rounds)
+
+
+def _run_local_coloring_mis(ctx: RunContext) -> RunPayload:
+    from repro.local.algorithms.linial_coloring import run_coloring_mis
+
+    members, rounds, palette = run_coloring_mis(ctx.graph)
+    return RunPayload(
+        members=members, local_rounds=rounds,
+        extra_metrics={"palette": palette},
+    )
+
+
+def _run_det_matching(ctx: RunContext) -> RunPayload:
+    from repro.core.det_matching import det_maximal_matching
+
+    matching, counters = det_maximal_matching(ctx.dg)
+    return RunPayload(matching=matching, counters=counters)
+
+
+def _run_rand_matching(ctx: RunContext) -> RunPayload:
+    from repro.core.det_matching import det_maximal_matching
+    from repro.core.rand_baselines import random_luby_chooser
+    from repro.util.rng import SplitMix64
+
+    matching, counters = det_maximal_matching(
+        ctx.dg,
+        chooser=random_luby_chooser(SplitMix64(seed=ctx.seed)),
+        allow_stalls=64,
+    )
+    return RunPayload(matching=matching, counters=counters)
+
+
+# ---------------------------------------------------------------------------
+# Claimed-β functions and config factories
+# ---------------------------------------------------------------------------
+
+
+def _ruling_beta(graph: "Graph", alpha: int, beta: int) -> int:
+    # α > 2 runs on G^{α-1}: β-domination there is β(α-1)-domination in G.
+    return beta if alpha == 2 else beta * (alpha - 1)
+
+
+def _mis_beta(graph: "Graph", alpha: int, beta: int) -> int:
+    return 1
+
+
+def _greedy_ruling_beta(graph: "Graph", alpha: int, beta: int) -> int:
+    return alpha - 1
+
+
+def _bitwise_beta(graph: "Graph", alpha: int, beta: int) -> int:
+    return max(1, ilog2_ceil(max(2, graph.num_vertices)))
+
+
+def _matching_config_factory(
+    graph: "Graph", regime: str, alpha_mem: Tuple[int, int]
+) -> "MPCConfig":
+    from repro.core.det_matching import matching_config
+
+    return matching_config(graph, alpha=alpha_mem, regime=regime)
+
+
+# ---------------------------------------------------------------------------
+# Registrations — registration order is presentation order everywhere
+# (CLI help, sweeps' default grids, README table).
+# ---------------------------------------------------------------------------
+
+register(AlgorithmSpec(
+    name=DET_RULING,
+    family=MPC_FAMILY,
+    problem=RULING_SET,
+    description="deterministic (2, β)-ruling set (derandomized "
+    "sparsify-and-gather; the paper's headline)",
+    runner=_run_det_ruling,
+    claimed_beta=_ruling_beta,
+    supports_alpha_gt2=True,
+))
+
+register(AlgorithmSpec(
+    name=RAND_RULING,
+    family=MPC_FAMILY,
+    problem=RULING_SET,
+    description="randomized (2, β)-ruling set baseline (same engine, "
+    "sampled seeds)",
+    runner=_run_rand_ruling,
+    claimed_beta=_ruling_beta,
+    supports_alpha_gt2=True,
+    uses_seed=True,
+))
+
+register(AlgorithmSpec(
+    name=DET_LUBY,
+    family=MPC_FAMILY,
+    problem=RULING_SET,
+    description="deterministic MIS (derandomized Luby via conditional "
+    "expectations)",
+    runner=_run_det_luby,
+    claimed_beta=_mis_beta,
+))
+
+register(AlgorithmSpec(
+    name=RAND_LUBY,
+    family=MPC_FAMILY,
+    problem=RULING_SET,
+    description="randomized Luby MIS baseline",
+    runner=_run_rand_luby,
+    claimed_beta=_mis_beta,
+    uses_seed=True,
+))
+
+register(AlgorithmSpec(
+    name=GREEDY_MIS,
+    family=SEQUENTIAL_FAMILY,
+    problem=RULING_SET,
+    description="sequential greedy MIS oracle",
+    runner=_run_greedy_mis,
+    claimed_beta=_mis_beta,
+))
+
+register(AlgorithmSpec(
+    name=GREEDY_RULING,
+    family=SEQUENTIAL_FAMILY,
+    problem=RULING_SET,
+    description="sequential greedy (α, α-1)-ruling set oracle",
+    runner=_run_greedy_ruling,
+    claimed_beta=_greedy_ruling_beta,
+    supports_alpha_gt2=True,
+))
+
+register(AlgorithmSpec(
+    name=LOCAL_LUBY,
+    family=LOCAL_FAMILY,
+    problem=RULING_SET,
+    description="LOCAL-model randomized Luby MIS baseline",
+    runner=_run_local_luby,
+    claimed_beta=_mis_beta,
+    uses_seed=True,
+))
+
+register(AlgorithmSpec(
+    name=LOCAL_BITWISE,
+    family=LOCAL_FAMILY,
+    problem=RULING_SET,
+    description="LOCAL-model deterministic bitwise (AGLP) ruling set",
+    runner=_run_local_bitwise,
+    claimed_beta=_bitwise_beta,
+))
+
+register(AlgorithmSpec(
+    name=LOCAL_COLORING_MIS,
+    family=LOCAL_FAMILY,
+    problem=RULING_SET,
+    description="LOCAL-model MIS via Linial coloring reduction",
+    runner=_run_local_coloring_mis,
+    claimed_beta=_mis_beta,
+))
+
+register(AlgorithmSpec(
+    name=DET_MATCHING,
+    family=MPC_FAMILY,
+    problem=MATCHING,
+    description="deterministic maximal matching (Luby engine on the "
+    "distributed line graph)",
+    runner=_run_det_matching,
+    config_factory=_matching_config_factory,
+))
+
+register(AlgorithmSpec(
+    name=RAND_MATCHING,
+    family=MPC_FAMILY,
+    problem=MATCHING,
+    description="randomized maximal matching baseline (sampled Luby "
+    "on the line graph)",
+    runner=_run_rand_matching,
+    config_factory=_matching_config_factory,
+    uses_seed=True,
+))

@@ -1,0 +1,265 @@
+"""The one true MPC lifecycle: :class:`SolverSession`.
+
+Before this module existed, every one-call driver re-implemented the
+same lifecycle by hand — ``solve_ruling_set`` had regime sizing,
+backend/trace wiring, simulator entry/exit, collection, and metrics
+assembly inline, while ``solve_matching`` carried its own (drifted) copy
+that silently lacked backend, trace, and regime support.  The session
+owns that lifecycle once, for every registered algorithm and problem:
+
+1. **Regime sizing** — resolve the :class:`MPCConfig` from a named
+   regime (or take the caller's explicit config), via the spec's
+   ``config_factory`` when it has one.  For α > 2 the power graph
+   ``G^{α-1}`` that the machines must hold is built **once** here, used
+   for sizing, and handed to the runner through the
+   :class:`~repro.core.registry.RunContext` — execution does not
+   rebuild it (previously ``_solve_mpc`` sized on one sequential build
+   and ``det_alpha_ruling_set`` re-derived the same graph in-model).
+2. **Backend / trace wiring** — ``backend`` / ``backend_workers`` and
+   ``trace`` / ``trace_warn_utilization`` are applied uniformly, so
+   every algorithm (matching included) gets execution backends and the
+   superstep trace for free.
+3. **Simulator lifecycle** — the simulator is always entered as a
+   context manager: a solve that raises still releases backend worker
+   pools (the contract ``tests/core/test_pipeline.py`` pins).
+4. **Collection & assembly** — members are collected from the
+   distributed graph under one key, and rounds / metrics / phase
+   attribution / wall-clock / trace are assembled into one shared
+   :class:`SessionStats`, which the problem-specific result types
+   (:class:`~repro.core.spec.RulingSetResult`,
+   :class:`~repro.core.spec.MatchingResult`) embed verbatim.
+
+``local`` / ``sequential`` algorithms never touch the simulator: the
+session runs their runner directly and returns empty MPC stats (0
+rounds; LOCAL round counts travel in ``metrics["local_rounds"]``),
+exactly as the hand-written drivers did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.registry import (
+    AlgorithmSpec,
+    LOCAL_FAMILY,
+    MPC_FAMILY,
+    RULING_SET,
+    RunContext,
+    RunPayload,
+)
+from repro.errors import AlgorithmError
+from repro.graph.graph import Graph
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.simulator import Simulator
+
+
+def make_config(
+    graph: Graph, regime: str = "sublinear", alpha: Tuple[int, int] = (2, 3)
+) -> MPCConfig:
+    """Build the :class:`MPCConfig` for a named regime.
+
+    ``regime`` is ``"sublinear"`` (``S ≈ n^alpha``), ``"near-linear"``,
+    or ``"single"``; pass an explicit :class:`MPCConfig` to the session
+    (or to :func:`repro.core.pipeline.solve_ruling_set`) for anything
+    else.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    delta = graph.max_degree()
+    if regime == "sublinear":
+        return MPCConfig.sublinear(n, m, alpha[0], alpha[1], max_degree=delta)
+    if regime == "near-linear":
+        return MPCConfig.near_linear(n, m, max_degree=delta)
+    if regime == "single":
+        return MPCConfig.single_machine(n, m)
+    raise AlgorithmError(f"unknown regime {regime!r}")
+
+
+@dataclass
+class SessionStats:
+    """The shared MPC-run slice of every result type.
+
+    Model quantities (``rounds`` / ``metrics`` / ``phase_rounds``) are
+    deterministic and participate in bit-identity comparisons; the
+    wall-clock fields and the trace deliberately ride outside them.
+    """
+
+    rounds: int = 0
+    metrics: Dict[str, object] = field(default_factory=dict)
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    time_per_phase: Dict[str, float] = field(default_factory=dict)
+    trace: Optional[object] = None
+
+    def result_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for the result dataclasses' shared tail."""
+        return {
+            "rounds": self.rounds,
+            "metrics": self.metrics,
+            "phase_rounds": self.phase_rounds,
+            "wall_time_s": self.wall_time_s,
+            "time_per_phase": self.time_per_phase,
+            "trace": self.trace,
+        }
+
+
+@dataclass
+class SessionRun:
+    """One completed session: the runner's payload plus shared stats."""
+
+    payload: RunPayload
+    stats: SessionStats
+    config: Optional[MPCConfig] = None
+
+
+class SolverSession:
+    """One solver run, lifecycle included, for any registered algorithm.
+
+    Construct with the graph, the :class:`AlgorithmSpec`, and the run
+    parameters, then call :meth:`run`.  The session is single-use.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        spec: AlgorithmSpec,
+        *,
+        beta: int = 2,
+        alpha: int = 2,
+        regime: str = "sublinear",
+        alpha_mem: Tuple[int, int] = (2, 3),
+        config: Optional[MPCConfig] = None,
+        seed: int = 0,
+        backend: Optional[str] = None,
+        backend_workers: int = 0,
+        trace: bool = False,
+        trace_warn_utilization: float = 0.9,
+        in_set_key: str = "result_set",
+    ) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.beta = beta
+        self.alpha = alpha
+        self.regime = regime
+        self.alpha_mem = tuple(alpha_mem)
+        self.explicit_config = config
+        self.seed = seed
+        self.backend = backend
+        self.backend_workers = backend_workers
+        self.trace_enabled = trace
+        self.trace_warn_utilization = trace_warn_utilization
+        self.in_set_key = in_set_key
+        # The α > 2 power graph, built exactly once per session: it
+        # sizes the regime AND is handed to the runner for execution.
+        self._power: Optional[Graph] = None
+        if spec.family == MPC_FAMILY and alpha > 2:
+            from repro.graph.ops import power_graph
+
+            self._power = power_graph(graph, alpha - 1)
+
+    # -- regime sizing ---------------------------------------------------
+
+    @property
+    def sizing_graph(self) -> Graph:
+        """The graph the machines must hold (``G^{α-1}`` when α > 2)."""
+        return self._power if self._power is not None else self.graph
+
+    def power_adjacency(self) -> Optional[Dict[int, Tuple[int, ...]]]:
+        """``G^{α-1}`` adjacency from the session's single build."""
+        if self._power is None:
+            return None
+        return {
+            v: tuple(self._power.neighbors(v))
+            for v in self._power.vertices()
+        }
+
+    def resolve_config(self) -> MPCConfig:
+        """The fully wired :class:`MPCConfig` for this run.
+
+        Explicit config wins over the named regime; the spec's
+        ``config_factory`` (when present) owns problem-specific sizing
+        (e.g. the matching line-graph footprint).  Backend and trace
+        settings are applied here so every MPC algorithm shares them.
+        """
+        if self.explicit_config is not None:
+            cfg = self.explicit_config
+        elif self.spec.config_factory is not None:
+            cfg = self.spec.config_factory(
+                self.sizing_graph, self.regime, self.alpha_mem
+            )
+        else:
+            cfg = make_config(self.sizing_graph, self.regime, self.alpha_mem)
+        if self.backend is not None:
+            cfg = cfg.with_backend(self.backend, self.backend_workers)
+        if self.trace_enabled and not cfg.trace:
+            cfg = cfg.with_trace(
+                warn_utilization=self.trace_warn_utilization
+            )
+        cfg.validate_input_size(
+            MPCConfig.input_words(
+                self.sizing_graph.num_vertices, self.sizing_graph.num_edges
+            )
+        )
+        return cfg
+
+    # -- execution -------------------------------------------------------
+
+    def run(self) -> SessionRun:
+        """Execute the algorithm and assemble the shared stats."""
+        if self.spec.family != MPC_FAMILY:
+            return self._run_direct()
+        return self._run_mpc()
+
+    def _run_direct(self) -> SessionRun:
+        """LOCAL / sequential run: no simulator, 0 MPC rounds."""
+        ctx = RunContext(
+            graph=self.graph, alpha=self.alpha, beta=self.beta,
+            seed=self.seed,
+        )
+        payload = self.spec.runner(ctx)
+        metrics: Dict[str, object] = {}
+        if self.spec.family == LOCAL_FAMILY:
+            metrics["local_rounds"] = payload.local_rounds
+        metrics.update(payload.extra_metrics)
+        return SessionRun(payload=payload, stats=SessionStats(metrics=metrics))
+
+    def _run_mpc(self) -> SessionRun:
+        cfg = self.resolve_config()
+        # Context manager, not a trailing shutdown() call: a solve that
+        # raises (e.g. MPCViolationError) must still release the
+        # backend's worker pools, or every failed run leaks processes.
+        with Simulator(cfg) as sim:
+            dg = DistributedGraph.load(sim, self.graph)
+            ctx = RunContext(
+                graph=self.graph, alpha=self.alpha, beta=self.beta,
+                seed=self.seed, dg=dg, sim=sim,
+                power_adjacency=self.power_adjacency(),
+                in_set_key=self.in_set_key,
+            )
+            payload = self.spec.runner(ctx)
+            if payload.members is None and self.spec.problem == RULING_SET:
+                payload.members = dg.collect_marked(self.in_set_key)
+        metrics: Dict[str, object] = dict(sim.metrics.summary())
+        metrics.update(
+            {f"alg_{key}": value for key, value in payload.counters.items()}
+        )
+        metrics["num_machines"] = cfg.num_machines
+        metrics["memory_words"] = cfg.memory_words
+        if self._power is not None:
+            # Price the α > 2 densification without rebuilding G^{α-1}
+            # downstream (E9 reads this instead of its own power_graph).
+            metrics["power_edges"] = self._power.num_edges
+        metrics.update(payload.extra_metrics)
+        stats = SessionStats(
+            rounds=sim.metrics.rounds,
+            metrics=metrics,
+            phase_rounds=sim.metrics.phase_rounds(),
+            wall_time_s=round(sim.metrics.wall_time_s, 6),
+            time_per_phase={
+                phase: round(seconds, 6)
+                for phase, seconds in sim.metrics.time_per_phase.items()
+            },
+            trace=sim.trace,
+        )
+        return SessionRun(payload=payload, stats=stats, config=cfg)

@@ -1,4 +1,4 @@
-"""Problem and result types for ruling-set computations.
+"""Problem and result types for solver computations.
 
 An ``(α, β)``-ruling set of ``G``:
 
@@ -7,12 +7,14 @@ An ``(α, β)``-ruling set of ``G``:
 * **β-domination** — every vertex is within distance β of a member.
 
 An MIS is a (2, 1)-ruling set; "β-ruling set" abbreviates (2, β).
+Maximal matching (an MIS on the line graph) gets the matching-shaped
+result type with the same shared MPC-run tail.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 if TYPE_CHECKING:  # import kept type-only: spec stays simulator-agnostic
     from repro.mpc.trace import TraceRecorder
@@ -75,6 +77,54 @@ class RulingSetResult:
             "size": self.size,
             "alpha": self.alpha,
             "beta": self.beta,
+            "rounds": self.rounds,
+        }
+        row.update(self.metrics)
+        row["wall_time_s"] = round(self.wall_time_s, 6)
+        return row
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """The outcome of one maximal-matching computation.
+
+    Shares the MPC-run tail (``rounds`` / ``metrics`` / ``phase_rounds``
+    / timing / ``trace``) with :class:`RulingSetResult` — both are
+    assembled from the same
+    :class:`~repro.core.session.SessionStats`, with identical
+    determinism contracts (model quantities compare, wall clock and
+    trace do not).
+
+    Iterating yields ``(matching, metrics)``, so the historical
+    ``matching, metrics = solve_matching(graph)`` unpacking keeps
+    working unchanged.
+    """
+
+    matching: List[Tuple[int, int]]
+    algorithm: str
+    rounds: int = 0
+    metrics: Dict[str, int] = field(default_factory=dict)
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    time_per_phase: Dict[str, float] = field(default_factory=dict)
+    trace: Optional["TraceRecorder"] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def size(self) -> int:
+        """Number of matched edges."""
+        return len(self.matching)
+
+    def __iter__(self) -> Iterator[object]:
+        yield self.matching
+        yield self.metrics
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat row for benchmark tables."""
+        row: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "size": self.size,
             "rounds": self.rounds,
         }
         row.update(self.metrics)

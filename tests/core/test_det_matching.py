@@ -145,6 +145,65 @@ class TestSolveMatching:
         assert matching == [] and metrics["rounds"] == 0
 
 
+class TestSolveMatchingParity:
+    """Backend and trace wiring must be pure observers for matching too.
+
+    ``solve_matching`` now runs through the same solver session as
+    ``solve_ruling_set``; a process-pool backend or an attached trace
+    must leave the matching and every model quantity bit-identical to
+    the serial/untraced run.
+    """
+
+    def _reference(self, graph):
+        from repro.core.det_matching import solve_matching
+
+        return solve_matching(graph)
+
+    def _assert_model_identical(self, reference, other):
+        assert other.matching == reference.matching
+        assert other.rounds == reference.rounds
+        assert other.metrics == reference.metrics
+        assert other.phase_rounds == reference.phase_rounds
+
+    def test_process_backend_bit_identical(self, small_er):
+        from repro.core.det_matching import solve_matching
+
+        reference = self._reference(small_er)
+        parallel = solve_matching(
+            small_er, backend="process", backend_workers=2
+        )
+        self._assert_model_identical(reference, parallel)
+
+    def test_trace_bit_identical_and_populated(self, small_er):
+        from repro.core.det_matching import solve_matching
+
+        reference = self._reference(small_er)
+        traced = solve_matching(small_er, trace=True)
+        self._assert_model_identical(reference, traced)
+        assert reference.trace is None
+        assert traced.trace is not None and traced.trace.events
+
+    def test_randomized_backend_and_trace_together(self, small_er):
+        from repro.core.det_matching import solve_matching
+
+        reference = solve_matching(small_er, deterministic=False, seed=7)
+        combined = solve_matching(
+            small_er, deterministic=False, seed=7,
+            backend="process", backend_workers=2, trace=True,
+        )
+        self._assert_model_identical(reference, combined)
+
+    def test_result_tuple_compat(self, small_er):
+        # Pre-session callers unpacked (matching, metrics); the result
+        # object must keep supporting that shape.
+        from repro.core.det_matching import solve_matching
+
+        result = solve_matching(small_er)
+        matching, metrics = result
+        assert matching == result.matching
+        assert metrics == result.metrics
+
+
 class TestCliMatch:
     def test_match_command(self, capsys):
         from repro.cli import main

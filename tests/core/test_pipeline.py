@@ -82,13 +82,13 @@ class TestSolve:
 
 
 class TestSimulatorLifecycle:
-    """The pipeline must release backend resources on every path."""
+    """The session must release backend resources on every path."""
 
     def _recording_simulator(self, monkeypatch):
-        import repro.core.pipeline as pipeline
+        import repro.core.session as session
 
         sims = []
-        real_simulator = pipeline.Simulator
+        real_simulator = session.Simulator
 
         class RecordingSimulator(real_simulator):
             def __init__(self, *args, **kwargs):
@@ -100,7 +100,7 @@ class TestSimulatorLifecycle:
                 self.shutdown_calls += 1
                 super().shutdown()
 
-        monkeypatch.setattr(pipeline, "Simulator", RecordingSimulator)
+        monkeypatch.setattr(session, "Simulator", RecordingSimulator)
         return sims
 
     def test_shutdown_on_success(self, small_er, monkeypatch):
@@ -111,7 +111,9 @@ class TestSimulatorLifecycle:
     def test_shutdown_when_solve_raises(self, small_er, monkeypatch):
         # Regression: a raising solve (e.g. MPCViolationError) used to
         # skip the trailing shutdown() and leak process-pool workers.
-        import repro.core.pipeline as pipeline
+        # The registry runner imports det_luby_mis lazily, so patching
+        # the algorithm module's attribute intercepts the call.
+        import repro.core.det_luby as det_luby_mod
 
         from repro.errors import MPCViolationError
 
@@ -120,7 +122,7 @@ class TestSimulatorLifecycle:
         def blow_budget(*args, **kwargs):
             raise MPCViolationError("synthetic budget blowout")
 
-        monkeypatch.setattr(pipeline, "det_luby_mis", blow_budget)
+        monkeypatch.setattr(det_luby_mod, "det_luby_mis", blow_budget)
         with pytest.raises(MPCViolationError):
             solve_ruling_set(small_er, algorithm="det-luby")
         assert sims and all(s.shutdown_calls >= 1 for s in sims)
