@@ -1,0 +1,132 @@
+"""E12: serve-layer economics — cold vs warm latency and dedup ratio.
+
+The serve layer's pitch is that determinism makes results *reusable*:
+a content-addressed cache turns the second request for any solve into a
+dictionary lookup, and in-batch dedup collapses identical in-flight
+requests before anything runs.  This experiment quantifies both on a
+request stream with deliberate redundancy (every solve requested twice,
+two graphs shared across algorithms):
+
+* **cold** — empty cache: every unique solve executes once, duplicates
+  dedup onto it;
+* **warm** — same stream, same disk cache, fresh engine/process-state:
+  zero executions, everything served from the store.
+
+The quantities of record are the *counts* (executed / hits / dedup — all
+deterministic); the wall-clock speedup is reported as a convenience and
+measures the simulator.  The warm run is asserted, not just reported:
+``executed == 0`` and record-for-record identity with the cold run
+(modulo the ``_serve`` observability side channel).
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+from benchmarks.bench_common import RESULTS_DIR, emit
+from repro.analysis.tables import format_table
+from repro.analysis.records import RunRecord
+from repro.core import registry
+from repro.serve import BatchEngine, ResultCache
+
+CACHE_DIR = RESULTS_DIR / "e12_cache"
+
+#: Two graph sources shared by several algorithms, every request issued
+#: twice — the redundancy profile a result cache is supposed to absorb.
+GRAPHS = {
+    "er-128": {"family": "gnp", "n": 128, "param": 8, "seed": 12},
+    "tree-192": {"family": "tree", "n": 192, "seed": 12},
+}
+ALGORITHMS = (registry.DET_RULING, registry.DET_LUBY, registry.DET_MATCHING)
+
+
+def request_stream():
+    requests = []
+    for graph_name, source in sorted(GRAPHS.items()):
+        for algorithm in ALGORITHMS:
+            for copy in range(2):
+                requests.append({
+                    "id": f"{graph_name}/{algorithm}#{copy}",
+                    "graph": dict(source),
+                    "algorithm": algorithm,
+                })
+    return requests
+
+
+def _strip_serve(records):
+    return [
+        {key: value for key, value in record.items() if key != "_serve"}
+        for record in records
+    ]
+
+
+def serve_once(label: str):
+    """One batch over a fresh engine against the shared disk cache."""
+    engine = BatchEngine(ResultCache(disk_dir=CACHE_DIR))
+    requests = request_stream()
+    start = time.perf_counter()
+    records = engine.run(requests)
+    wall = time.perf_counter() - start
+    counters = engine.trace.counters
+    row = RunRecord(
+        "e12_service", label, "serve",
+        {
+            "requests": len(requests),
+            "unique": len(requests) - counters["dedup"],
+            "executed": counters["executed"],
+            "hits": counters["cache_hit"],
+            "dedup": counters["dedup"],
+            "graph_loads": counters["graph_load"],
+            "failed": counters["failed"],
+        },
+    )
+    row.meta["wall_s"] = round(wall, 4)
+    return records, row
+
+
+def run_service_experiment():
+    if CACHE_DIR.exists():
+        shutil.rmtree(CACHE_DIR)  # the cold phase must really be cold
+    cold_records, cold = serve_once("cold")
+    warm_records, warm = serve_once("warm")
+
+    # The serving contracts, asserted on every bench run:
+    assert cold.get("failed") == 0 and warm.get("failed") == 0
+    assert cold.get("dedup") == cold.get("requests") // 2
+    assert warm.get("executed") == 0, "warm run must not solve anything"
+    assert warm.get("hits") == warm.get("unique")
+    assert _strip_serve(cold_records) == _strip_serve(warm_records), (
+        "cached records must be bit-identical to executed ones"
+    )
+    for row in (cold, warm):
+        row.fields["wall_s"] = row.meta["wall_s"]
+    speedup = cold.meta["wall_s"] / max(warm.meta["wall_s"], 1e-9)
+    return [cold, warm], speedup
+
+
+def test_e12_service(benchmark):
+    records, speedup = run_service_experiment()
+    table = format_table(
+        records,
+        columns=[
+            "workload", "requests", "unique", "executed", "hits",
+            "dedup", "graph_loads", "wall_s",
+        ],
+        title="E12: serve layer — cold vs warm batch over the "
+        "content-addressed cache",
+    )
+    emit(
+        "e12_service",
+        table + f"\nwarm speedup: {speedup:.0f}x "
+        "(simulator wall clock; counts are the quantity of record)",
+    )
+
+    # Time the steady state the service actually runs in: warm batches.
+    benchmark.pedantic(
+        lambda: serve_once("bench"), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    run_service_experiment()

@@ -509,8 +509,14 @@ def _run_isolated(
                     error_type, message = payload
                     fail_or_retry(index, entry, error_type, message)
             elif entry.proc.exitcode is not None:
-                # Exited without sending: a send that completed would be
-                # readable above, so this is a genuine crash.
+                # The worker has exited.  Its send can complete between
+                # the poll above and this exitcode check (the worker
+                # sends, closes, and exits within microseconds), and a
+                # completed send stays readable after the process is
+                # gone — so re-poll before calling this a crash, and let
+                # the next iteration collect a late-arriving result.
+                if entry.conn.poll():
+                    continue
                 retire(index)
                 fail_or_retry(
                     index, entry, "WorkerCrash",

@@ -10,6 +10,9 @@ Installed as ``repro-mpc``::
     repro-mpc verify --input g.txt --members 3,19,40 --beta 2
     repro-mpc sweep --n 128,256 --algorithms det-ruling,det-luby \
         --jobs 4 --checkpoint sweep.jsonl --resume --timeout 120
+    repro-mpc batch --requests requests.jsonl --out results.jsonl \
+        --cache-dir .repro-cache --jobs 4
+    repro-mpc cache stats --cache-dir .repro-cache
 
 Every ``solve`` runs on the enforcing simulator and verifies its output;
 ``--json`` emits a machine-readable record instead of the text summary.
@@ -317,6 +320,93 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    from repro.serve import (
+        BatchEngine,
+        ResultCache,
+        read_requests,
+        records_to_lines,
+        write_records,
+    )
+
+    cache = ResultCache(
+        memory_entries=args.cache_memory, disk_dir=args.cache_dir
+    )
+    engine = BatchEngine(
+        cache,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_requests=args.max_requests,
+    )
+    requests = read_requests(args.requests)
+    records = engine.run(requests)
+    if args.out:
+        write_records(records, args.out)
+    else:
+        for line in records_to_lines(records):
+            print(line)
+    if args.trace_out:
+        engine.trace.write_jsonl(args.trace_out)
+    summary = engine.trace.summary()
+    failed = [r for r in records if r.get("status") == "failed"]
+    print(
+        f"batch: {len(records)} requests | "
+        f"hits={summary['cache_hit']} misses={summary['cache_miss']} "
+        f"dedup={summary['dedup']} executed={summary['executed']} "
+        f"failed={summary['failed']}",
+        file=sys.stderr,
+    )
+    if args.out:
+        print(f"records: {args.out}", file=sys.stderr)
+    if failed:
+        for record in failed:
+            print(
+                f"  - {record['id']}: {record.get('error_type')}: "
+                f"{record.get('error')}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.serve import BatchEngine, ResultCache, read_requests
+
+    if args.cache_dir is None:
+        # A memory-only cache dies with this process, so every cache
+        # maintenance action needs the persistent tier.
+        raise ReproError(f"cache {args.action} needs --cache-dir <dir>")
+    cache = ResultCache(
+        memory_entries=args.cache_memory, disk_dir=args.cache_dir
+    )
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache dir:    {args.cache_dir}")
+        print(f"disk entries: {stats['disk_entries']}")
+        print(f"disk bytes:   {stats['disk_bytes']}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {args.cache_dir}")
+        return 0
+    # warm: run a request stream purely to populate the cache.
+    if not args.requests:
+        raise ReproError("cache warm needs --requests <file.jsonl>")
+    engine = BatchEngine(
+        cache, jobs=args.jobs, timeout=args.timeout, retries=args.retries
+    )
+    records = engine.run(read_requests(args.requests))
+    summary = engine.trace.summary()
+    print(
+        f"warmed {args.cache_dir}: {len(records)} requests | "
+        f"executed={summary['executed']} "
+        f"already-cached={summary['cache_hit']} "
+        f"failed={summary['failed']}"
+    )
+    return 1 if summary["failed"] else 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mpc",
@@ -465,6 +555,70 @@ def make_parser() -> argparse.ArgumentParser:
         "failure (default 0)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--cache-dir", default=None,
+            help="on-disk result-cache directory (omit for memory-only)",
+        )
+        parser.add_argument(
+            "--cache-memory", type=int, default=256,
+            help="in-memory LRU tier size in entries (0 disables it)",
+        )
+        parser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for cache misses (hits never execute; "
+            "records are emitted in request order whatever the fan-out)",
+        )
+        parser.add_argument(
+            "--timeout", type=float, default=None,
+            help="per-request wall-clock timeout in seconds (a timed-out "
+            "request becomes a structured failure record)",
+        )
+        parser.add_argument(
+            "--retries", type=int, default=0,
+            help="re-run attempts for a failing request (default 0)",
+        )
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="serve a JSONL request stream (content-addressed cache, "
+        "dedup, bounded fan-out)",
+    )
+    p_batch.add_argument(
+        "--requests", required=True,
+        help="JSONL request file (one solve request per line)",
+    )
+    p_batch.add_argument(
+        "--out", default=None,
+        help="output JSONL path (default: records on stdout)",
+    )
+    _add_cache_options(p_batch)
+    p_batch.add_argument(
+        "--max-requests", type=int, default=10_000,
+        help="backpressure bound: refuse larger batches up front",
+    )
+    p_batch.add_argument(
+        "--trace-out", default=None,
+        help="write the service trace (hits/misses/dedup/outcomes) "
+        "as JSONL here",
+    )
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect, clear, or pre-warm a result cache"
+    )
+    p_cache.add_argument(
+        "action", choices=("stats", "clear", "warm"),
+        help="stats: entry/byte counts; clear: drop every cached "
+        "result; warm: run --requests purely to populate the cache",
+    )
+    _add_cache_options(p_cache)
+    p_cache.add_argument(
+        "--requests", default=None,
+        help="JSONL request file for the warm action",
+    )
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

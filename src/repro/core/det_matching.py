@@ -238,6 +238,7 @@ def solve_matching(
     backend_workers: int = 0,
     trace: bool = False,
     trace_warn_utilization: float = 0.9,
+    session_factory=None,
 ) -> "MatchingResult":
     """One-call driver: build the regime, run, verify, return the matching.
 
@@ -275,7 +276,11 @@ def solve_matching(
         return MatchingResult(
             matching=[], algorithm=algorithm, metrics={"rounds": 0}
         )
-    session = SolverSession(
+    build_session = (
+        session_factory.session if session_factory is not None
+        else SolverSession
+    )
+    session = build_session(
         graph, spec, regime=regime, alpha_mem=alpha_mem, config=config,
         seed=seed, backend=backend, backend_workers=backend_workers,
         trace=trace, trace_warn_utilization=trace_warn_utilization,

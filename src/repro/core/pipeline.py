@@ -26,7 +26,7 @@ from repro.core.registry import (
     RULING_SET,
     SEQUENTIAL_FAMILY,
 )
-from repro.core.session import SolverSession, make_config
+from repro.core.session import SessionFactory, SolverSession, make_config
 from repro.core.spec import RulingSetResult
 from repro.core.verify import verify_ruling_set
 from repro.errors import AlgorithmError
@@ -66,6 +66,7 @@ def solve_ruling_set(
     backend_workers: int = 0,
     trace: bool = False,
     trace_warn_utilization: float = 0.9,
+    session_factory: Optional[SessionFactory] = None,
 ) -> RulingSetResult:
     """Compute and verify a ruling set of ``graph``.
 
@@ -105,6 +106,12 @@ def solve_ruling_set(
         JSONL / Chrome-trace export and budget-headroom warnings at the
         given fraction of ``S``.  Pure observer: traced runs are
         bit-identical to untraced ones.
+    session_factory:
+        A :class:`~repro.core.session.SessionFactory` to build the
+        session warm (reusing the α > 2 power graph and the regime
+        config across solves on the same graph).  Warm solves are
+        bit-identical to cold ones (pinned by test); the serve layer's
+        batch engine passes its factory here.
 
     Returns a :class:`RulingSetResult` whose ``rounds`` / ``metrics``
     reflect the enforced MPC execution (0 rounds for sequential/LOCAL
@@ -129,7 +136,11 @@ def solve_ruling_set(
     if alpha > 2 and not spec.supports_alpha_gt2:
         raise AlgorithmError(f"alpha > 2 is not supported by {algorithm!r}")
 
-    session = SolverSession(
+    build_session = (
+        session_factory.session if session_factory is not None
+        else SolverSession
+    )
+    session = build_session(
         graph, spec, beta=beta, alpha=alpha, regime=regime,
         alpha_mem=alpha_mem, config=config, seed=seed,
         backend=backend, backend_workers=backend_workers,

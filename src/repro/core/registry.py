@@ -266,6 +266,58 @@ def help_text(problem: Optional[str] = None) -> str:
     return " | ".join(algorithm_names(problem=problem))
 
 
+def canonical_cache_params(
+    spec: AlgorithmSpec,
+    *,
+    beta: int = 2,
+    alpha: int = 2,
+    regime: str = "sublinear",
+    alpha_mem: Tuple[int, int] = (2, 3),
+    seed: int = 0,
+    config: Optional["MPCConfig"] = None,
+) -> Dict[str, object]:
+    """The *semantic* solve parameters, canonicalized for cache keying.
+
+    Two parameterizations that provably produce bit-identical results
+    must map to the same dict; parameterizations that can differ in any
+    model quantity must not.  The registry owns this because the spec's
+    capability flags decide what is semantic:
+
+    * ``seed`` is included only when ``spec.uses_seed`` — the seedless
+      (deterministic) algorithms produce identical output for every
+      seed (pinned by test), so seeds must not fragment their cache;
+    * ``beta`` / ``alpha`` are dropped for problems where they are
+      meaningless (matching);
+    * an explicit :class:`~repro.mpc.config.MPCConfig` contributes only
+      its model-relevant fields (``num_machines`` / ``memory_words``) —
+      ``backend`` / ``backend_workers`` / ``trace`` /
+      ``trace_warn_utilization`` select execution strategy and
+      observability, which the backend and trace layers guarantee to be
+      bit-identity-preserving, and ``label`` / ``slack`` are reporting
+      annotations;
+    * without an explicit config, the named ``regime`` plus the memory
+      exponent ``alpha_mem`` determine the derived config.
+    """
+    params: Dict[str, object] = {
+        "algorithm": spec.name,
+        "problem": spec.problem,
+    }
+    if spec.problem == RULING_SET:
+        params["beta"] = int(beta)
+        params["alpha"] = int(alpha)
+    if spec.uses_seed:
+        params["seed"] = int(seed)
+    if config is not None:
+        params["config"] = {
+            "num_machines": config.num_machines,
+            "memory_words": config.memory_words,
+        }
+    else:
+        params["regime"] = regime
+        params["alpha_mem"] = [int(x) for x in alpha_mem]
+    return params
+
+
 def markdown_table(problem: Optional[str] = None) -> str:
     """The algorithm table for README/docs, regenerated from the registry."""
     lines = [

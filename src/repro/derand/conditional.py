@@ -62,16 +62,27 @@ def choose_multiplier(
     p = estimator.p
     target = estimator.expectation_x_p2()
     scanned = 0
+    # One counting rule for both scan modes: a candidate counts as
+    # scanned exactly when its conditional expectation was evaluated.
+    # The bounded path used to decide the cutoff *after* bumping the
+    # counter, so whether ``a = 0`` appeared in the count depended on
+    # which path exhausted — the stats were not comparable between
+    # bounded and exhaustive runs of the same estimator.
     for a in scan_order_a(p):
+        if max_scan is not None and scanned >= max_scan:
+            break
         scanned += 1
         if p * estimator.cond_a_x_p(a) >= target:
             return a, scanned, target
-        if max_scan is not None and scanned >= max_scan:
-            break
+    if max_scan is None:
+        raise DerandomizationError(
+            f"no multiplier met the family average over Z_{p} "
+            f"({scanned} candidates scanned, all {p} exhausted) — "
+            "estimator arithmetic bug"
+        )
     raise DerandomizationError(
-        "no multiplier met the family average — estimator arithmetic bug"
-        if max_scan is None
-        else f"no acceptable multiplier within max_scan={max_scan}"
+        f"no acceptable multiplier within max_scan={max_scan} "
+        f"({scanned} of {p} candidates scanned over Z_{p})"
     )
 
 

@@ -73,5 +73,14 @@ class SweepError(ReproError):
     captured as a structured failure record, never raised."""
 
 
+class ServeError(ReproError):
+    """The serve layer was misconfigured or fed an invalid request.
+
+    Raised for malformed request files, unusable cache directories, and
+    out-of-bounds engine options — distinct from a per-request solve
+    failure, which the batch engine captures as a structured failure
+    record in the output stream, never raised."""
+
+
 class VerificationError(ReproError):
     """A claimed ruling set failed verification."""

@@ -9,11 +9,29 @@ the same edge set compare equal and every traversal order is reproducible.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+import hashlib
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError, VertexError
 
 Edge = Tuple[int, int]
+
+
+def _csr_digest(indptr: Sequence[int], indices: Sequence[int]) -> str:
+    """SHA-256 hex digest of a CSR pair.
+
+    The digest is a pure function of the adjacency structure (indptr and
+    indices are canonical: sorted lists, fixed construction order), so it
+    is stable across processes and Python hash randomization — which is
+    what lets the serve layer use it as an on-disk cache key.
+    """
+    h = hashlib.sha256()
+    h.update(len(indptr).to_bytes(8, "little"))
+    for value in indptr:
+        h.update(value.to_bytes(8, "little"))
+    for value in indices:
+        h.update(value.to_bytes(8, "little"))
+    return h.hexdigest()
 
 
 class Graph:
@@ -29,7 +47,7 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_indptr", "_indices", "_num_edges")
+    __slots__ = ("_indptr", "_indices", "_num_edges", "_digest")
 
     def __init__(self, indptr: Sequence[int], indices: Sequence[int]):
         """Build from CSR arrays directly (advanced; prefer ``from_edges``).
@@ -47,6 +65,7 @@ class Graph:
         if len(self._indices) % 2 != 0:
             raise GraphError("undirected CSR must have even index count")
         self._num_edges = len(self._indices) // 2
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -169,6 +188,19 @@ class Graph:
             self._indptr[v + 1] - self._indptr[v] for v in self.vertices()
         ]
 
+    def fingerprint(self) -> str:
+        """Content-addressed identity: SHA-256 hex digest of the CSR.
+
+        Computed once and cached on the instance (the graph is immutable),
+        so repeated calls — and :meth:`__hash__`, which reuses it — are
+        O(1) after the first.  Equal graphs have equal fingerprints, and
+        the digest is stable across processes, which makes it the cache
+        key of the serve layer (:mod:`repro.serve`).
+        """
+        if self._digest is None:
+            self._digest = _csr_digest(self._indptr, self._indices)
+        return self._digest
+
     # ------------------------------------------------------------------
     # Dunder protocol
     # ------------------------------------------------------------------
@@ -180,7 +212,11 @@ class Graph:
         )
 
     def __hash__(self) -> int:
-        return hash((tuple(self._indptr), tuple(self._indices)))
+        # Hashing used to rebuild tuple(indptr)/tuple(indices) on every
+        # call — O(n+m) each time a Graph keyed a dict, quadratic in any
+        # lookup loop.  The cached fingerprint makes every hash after the
+        # first O(1).
+        return hash(self.fingerprint())
 
     def __repr__(self) -> str:
         return f"Graph(n={self.num_vertices}, m={self.num_edges})"

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import MPCConfigError
@@ -153,6 +154,18 @@ class ProcessPoolBackend(SuperstepBackend):
     round-trip and run serially.  The pool is created lazily on first
     use and torn down by :meth:`shutdown` (the simulator calls it when
     the run ends, and it is safe to call repeatedly).
+
+    **Broken-pool recovery.**  A worker that dies mid-superstep (OOM
+    kill, stray signal) poisons the whole ``ProcessPoolExecutor``: every
+    in-flight and future submission raises ``BrokenProcessPool``, and the
+    executor never recovers on its own.  The backend treats that as a
+    transient fault, not a fatal one: the dead pool is torn down, the
+    superstep re-runs on the in-process serial path, and the *next*
+    parallel step lazily builds a fresh pool.  Recovery is sound because
+    worker results are only applied to the machines after **every** chunk
+    has come back — a step that fails anywhere leaves the machines
+    untouched, so the serial re-run applies the callback exactly once.
+    Occurrences are counted in :meth:`stats` as ``broken_pool_recoveries``.
     """
 
     name = "process"
@@ -168,6 +181,7 @@ class ProcessPoolBackend(SuperstepBackend):
             "parallel_steps": 0,
             "serial_fallbacks": 0,
             "unpicklable_fallbacks": 0,
+            "broken_pool_recoveries": 0,
             "chunks_dispatched": 0,
             "machines_shipped": 0,
         }
@@ -220,15 +234,23 @@ class ProcessPoolBackend(SuperstepBackend):
         except Exception:
             self._stats["unpicklable_fallbacks"] += 1
             return None
-        futures = [
-            self._pool().submit(_run_chunk, fn_blob, step, blob)
-            for blob in blobs
-        ]
+        try:
+            futures = [
+                self._pool().submit(_run_chunk, fn_blob, step, blob)
+                for blob in blobs
+            ]
+            # Collect *every* chunk before touching any machine: a pool
+            # that breaks after some chunks returned must not leave a
+            # half-applied superstep behind, or the serial re-run would
+            # apply the callback twice to the already-mutated machines.
+            payloads = [pickle.loads(future.result()) for future in futures]
+        except BrokenProcessPool:
+            self._recover_broken_pool()
+            return None
         merged: List[Optional[List[Message]]] = [None] * len(machines)
-        # Collect in submission (= id) order: completion order is
+        # Apply in submission (= id) order: completion order is
         # irrelevant to the result, so scheduling jitter cannot leak in.
-        for chunk, future in zip(chunks, futures):
-            states, outboxes = pickle.loads(future.result())
+        for chunk, (states, outboxes) in zip(chunks, payloads):
             for offset, mid in enumerate(chunk):
                 store, inbox = states[offset]
                 machines[mid].store = store
@@ -239,6 +261,15 @@ class ProcessPoolBackend(SuperstepBackend):
         self._stats["chunks_dispatched"] += len(chunks)
         self._stats["machines_shipped"] += len(machines)
         return merged
+
+    def _recover_broken_pool(self) -> None:
+        """Discard a poisoned executor; the next step rebuilds it lazily."""
+        self._stats["broken_pool_recoveries"] += 1
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            # The pool is already dead; don't block on its corpse.
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:
         if self._dispatch(machines, fn, LOCAL_STEP) is None:

@@ -333,3 +333,67 @@ class TraceRecorder:
                 "utilization": round(words / budget, 4),
             }
         )
+
+
+class ServiceTrace:
+    """Structured observability for the serve layer (:mod:`repro.serve`).
+
+    Where :class:`TraceRecorder` watches one simulator run from the
+    inside, ``ServiceTrace`` watches the layer *above* it: cache hits /
+    misses / stores / evictions, request dedup, and per-request
+    execution outcomes in the batch engine.  Same design contract as the
+    superstep trace — a pure observer with a JSONL export (``meta``
+    header, one event per record, closing ``summary``), never a value
+    fed back into a solve — so traced and untraced service runs produce
+    bit-identical output records.
+
+    Events carry a monotone sequence number instead of wall clock: the
+    export participates in record-for-record comparisons between serial
+    and parallel engine runs, which timing would break.
+    """
+
+    #: Counter keys every summary reports (zero-initialised so the
+    #: summary shape is stable whether or not an event kind occurred).
+    COUNTER_KINDS = (
+        "cache_hit",
+        "cache_miss",
+        "cache_store",
+        "cache_eviction",
+        "dedup",
+        "executed",
+        "failed",
+    )
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.counters: Dict[str, int] = {
+            kind: 0 for kind in self.COUNTER_KINDS
+        }
+        self._seq = 0
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Append one service event and bump its counter."""
+        self._seq += 1
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        self.events.append({"type": kind, "seq": self._seq, **fields})
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold an external counter dict in (e.g. a cache's totals)."""
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    def summary(self) -> Dict[str, Any]:
+        """The closing summary record (also useful without an export)."""
+        return {"type": "summary", "events": len(self.events),
+                **dict(sorted(self.counters.items()))}
+
+    def jsonl_lines(self) -> List[str]:
+        """The service trace as JSON lines: meta, events, summary."""
+        meta = {"type": "meta", "schema": SCHEMA_VERSION, "layer": "serve"}
+        records = [meta, *self.events, self.summary()]
+        return [json.dumps(record, sort_keys=True) for record in records]
+
+    def write_jsonl(self, path) -> None:
+        """Write the JSONL export to ``path``."""
+        with open(path, "w") as handle:
+            handle.write("\n".join(self.jsonl_lines()) + "\n")

@@ -1,0 +1,38 @@
+"""The serve layer: content-addressed result cache + batched requests.
+
+``repro.serve`` sits on top of the solver session/pipeline layer and
+turns one-shot solves into a *service*: a two-tier
+:class:`~repro.serve.cache.ResultCache` keyed by graph content and
+canonical solve parameters, and a :class:`~repro.serve.engine.BatchEngine`
+that dedups, caches, and fan-outs a JSONL request stream.  The CLI
+surfaces are ``repro-mpc batch`` and ``repro-mpc cache``.
+
+Caching is sound because every registered algorithm is deterministic in
+its semantic inputs (the repository's central bit-identity contract);
+see DESIGN.md §10 for the full argument and the ``_serve`` side-channel
+split that keeps output records comparable across cache states.
+"""
+
+from repro.serve.cache import (
+    ResultCache,
+    cache_key,
+    payload_to_result,
+    result_to_payload,
+)
+from repro.serve.engine import (
+    BatchEngine,
+    read_requests,
+    records_to_lines,
+    write_records,
+)
+
+__all__ = [
+    "BatchEngine",
+    "ResultCache",
+    "cache_key",
+    "payload_to_result",
+    "read_requests",
+    "records_to_lines",
+    "result_to_payload",
+    "write_records",
+]

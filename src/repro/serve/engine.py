@@ -1,0 +1,429 @@
+"""Batched request engine: JSONL requests in, JSONL records out.
+
+One request names a graph source, an algorithm, and solve parameters;
+the engine turns a batch of them into verified results while doing the
+work at most once per *distinct* solve:
+
+1. **Grouping.**  Distinct graph sources are loaded exactly once and
+   shared by every request that names them (requests are grouped by the
+   graph's content fingerprint, so two spellings of the same source
+   still share one load).
+2. **Dedup.**  Each request's cache key
+   (:func:`repro.serve.cache.cache_key` over the graph fingerprint and
+   the registry's canonical parameters) identifies its solve; within a
+   batch, only the first request per key executes — the rest are
+   *deduplicated* onto its outcome, failures included.
+3. **Cache.**  Keys are looked up in the :class:`ResultCache` before
+   anything runs; a hit is served from the stored payload with **zero
+   MPC rounds executed**, and every executed miss is stored back.
+4. **Execution.**  The unique misses run through the sweep engine's
+   :func:`~repro.analysis.sweep.run_cells` scheduler — the same bounded
+   fan-out (``jobs``), per-request ``timeout``, ``retries``, and
+   process isolation the fault-tolerant sweeps use.  A request that
+   fails becomes a structured failure record in the output stream;
+   it never kills the batch and is never cached.
+5. **Backpressure.**  Batches above ``max_requests`` are refused up
+   front with :class:`~repro.errors.ServeError` instead of being
+   queued unboundedly.
+
+Output records preserve input order.  Each record's deterministic part
+(members/matching, rounds, metrics, phase attribution) is
+record-for-record identical between serial and parallel engine runs and
+between cold and warm cache states; per-serving observability (cache
+status, wall clock, worker attribution) rides in a ``_serve`` side
+channel excluded from that contract — the exact split the sweep
+checkpoints use for ``_meta``.
+
+Request schema (one JSON object per line)::
+
+    {"id": "r1", "graph": {"family": "gnp", "n": 128, "param": 8},
+     "algorithm": "...", "beta": 2, "alpha": 2,
+     "regime": "sublinear", "alpha_mem": [2, 3], "seed": 0}
+
+``graph`` is either ``{"input": "edges.txt"}`` (an edge-list file) or a
+generator spec ``{"family": ..., "n": ..., "param": ..., "seed": ...}``
+with the same semantics as the CLI's graph options.  Every field but
+``graph`` has a default; ``id`` defaults to the request's position.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.records import RunRecord
+from repro.analysis.sweep import FAILED, Cell, run_cells
+from repro.core import registry
+from repro.core.session import SessionFactory
+from repro.errors import ReproError, ServeError
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list
+from repro.mpc.trace import ServiceTrace
+from repro.serve.cache import ResultCache, cache_key, result_to_payload
+
+__all__ = [
+    "BatchEngine",
+    "read_requests",
+    "records_to_lines",
+    "write_records",
+]
+
+#: The request fields the engine understands; anything else is a
+#: malformed request file (raised, not recorded — see ServeError).
+_REQUEST_KEYS = frozenset(
+    ("id", "graph", "algorithm", "beta", "alpha", "regime", "alpha_mem",
+     "seed")
+)
+
+#: Payload keys that carry wall clock — serving observability, excluded
+#: from the deterministic record part (they land under ``_serve``).
+_TIMING_KEYS = ("wall_time_s", "time_per_phase")
+
+
+def read_requests(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL request file; malformed lines raise ServeError."""
+    requests: List[Dict[str, object]] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"{path}:{lineno}: request is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ServeError(
+                f"{path}:{lineno}: request must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        requests.append(data)
+    return requests
+
+
+def records_to_lines(records: List[Dict[str, object]]) -> List[str]:
+    """Serialise output records as canonical JSON lines."""
+    return [json.dumps(record, sort_keys=True) for record in records]
+
+
+def write_records(
+    records: List[Dict[str, object]], path: Union[str, Path]
+) -> None:
+    """Write output records to a JSONL file."""
+    Path(path).write_text(
+        "\n".join(records_to_lines(records)) + "\n", encoding="utf-8"
+    )
+
+
+def _load_graph(source: Dict[str, object]) -> Graph:
+    """Materialise one graph source (edge-list file or generator spec)."""
+    if "input" in source:
+        return read_edge_list(str(source["input"]))
+    from repro.cli import build_graph  # lazy: the CLI imports serve back
+
+    return build_graph(
+        str(source["family"]),
+        int(source.get("n", 200)),
+        int(source.get("param", 12)),
+        int(source.get("seed", 0)),
+    )
+
+
+def _execute_request(
+    graph: Graph,
+    params: Dict[str, object],
+    factory: Optional[SessionFactory] = None,
+) -> RunRecord:
+    """Cell runner: one verified solve, payload in the record fields.
+
+    Module-level so it pickles for ``jobs > 1`` / ``timeout`` runs; the
+    warm ``factory`` is bound (via :func:`functools.partial`) only for
+    in-process execution, where reusing per-graph artifacts pays off.
+    """
+    spec = registry.get_algorithm(str(params["algorithm"]))
+    if spec.problem == registry.RULING_SET:
+        from repro.core.pipeline import solve_ruling_set
+
+        result = solve_ruling_set(
+            graph,
+            algorithm=spec.name,
+            beta=int(params["beta"]),
+            alpha=int(params["alpha"]),
+            regime=str(params["regime"]),
+            alpha_mem=tuple(params["alpha_mem"]),
+            seed=int(params["seed"]),
+            session_factory=factory,
+        )
+    else:
+        from repro.core.det_matching import solve_matching
+
+        result = solve_matching(
+            graph,
+            algorithm=spec.name,
+            regime=str(params["regime"]),
+            alpha_mem=tuple(params["alpha_mem"]),
+            seed=int(params["seed"]),
+            session_factory=factory,
+        )
+    return RunRecord(
+        experiment="serve",
+        workload=str(params["id"]),
+        algorithm=spec.name,
+        fields=result_to_payload(result),
+    )
+
+
+class BatchEngine:
+    """Serve a batch of solve requests through one cache and scheduler.
+
+    The engine owns a :class:`~repro.mpc.trace.ServiceTrace`
+    (``engine.trace``) that records every cache hit / miss / store /
+    eviction, dedup, and execution outcome — a pure observer, so traced
+    and untraced batches produce identical output records.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        *,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        max_requests: int = 10_000,
+        trace: Optional[ServiceTrace] = None,
+    ) -> None:
+        if max_requests <= 0:
+            raise ServeError(
+                f"max_requests must be positive, got {max_requests}"
+            )
+        self.cache = cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.max_requests = max_requests
+        self.trace = trace if trace is not None else ServiceTrace()
+        # Warm per-graph artifacts only help when solves share a
+        # process; isolated cells (jobs > 1 or a timeout) each run in
+        # their own worker, exactly like run_cells' execution split.
+        self._in_process = jobs <= 1 and timeout is None
+        self._factory = SessionFactory()
+
+    # -- request normalisation ------------------------------------------
+
+    def _normalize(
+        self, data: Dict[str, object], index: int
+    ) -> Dict[str, object]:
+        unknown = sorted(set(data) - _REQUEST_KEYS)
+        if unknown:
+            raise ServeError(
+                f"request {index}: unknown fields {unknown}; "
+                f"expected a subset of {sorted(_REQUEST_KEYS)}"
+            )
+        source = data.get("graph")
+        if not isinstance(source, dict) or not (
+            "input" in source or "family" in source
+        ):
+            raise ServeError(
+                f"request {index}: 'graph' must be an object with "
+                "either 'input' (edge-list path) or 'family' "
+                "(generator spec)"
+            )
+        return {
+            "id": str(data.get("id", f"req-{index}")),
+            "source": source,
+            "source_key": json.dumps(
+                source, sort_keys=True, separators=(",", ":")
+            ),
+            "algorithm": str(data.get("algorithm", registry.DET_RULING)),
+            "beta": int(data.get("beta", 2)),
+            "alpha": int(data.get("alpha", 2)),
+            "regime": str(data.get("regime", "sublinear")),
+            "alpha_mem": [int(x) for x in data.get("alpha_mem", (2, 3))],
+            "seed": int(data.get("seed", 0)),
+        }
+
+    def _request_key(
+        self, request: Dict[str, object], graph: Graph
+    ) -> Tuple[Optional[str], Optional[Tuple[str, str]]]:
+        """``(cache key, None)`` or ``(None, (error type, message))``."""
+        try:
+            spec = registry.get_algorithm(str(request["algorithm"]))
+        except ReproError as exc:
+            return None, (type(exc).__name__, str(exc))
+        params = registry.canonical_cache_params(
+            spec,
+            beta=int(request["beta"]),
+            alpha=int(request["alpha"]),
+            regime=str(request["regime"]),
+            alpha_mem=tuple(request["alpha_mem"]),
+            seed=int(request["seed"]),
+        )
+        return cache_key(graph.fingerprint(), params), None
+
+    # -- the batch -------------------------------------------------------
+
+    def run(
+        self, requests: List[Dict[str, object]]
+    ) -> List[Dict[str, object]]:
+        """Serve ``requests``; returns output records in input order."""
+        if len(requests) > self.max_requests:
+            raise ServeError(
+                f"batch of {len(requests)} requests exceeds "
+                f"max_requests={self.max_requests}; split the stream "
+                "or raise the bound"
+            )
+        normalized = [
+            self._normalize(data, index)
+            for index, data in enumerate(requests)
+        ]
+
+        # One load per distinct graph source, shared by every request.
+        graphs: Dict[str, Graph] = {}
+        for request in normalized:
+            source_key = str(request["source_key"])
+            if source_key not in graphs:
+                graphs[source_key] = _load_graph(request["source"])
+                self.trace.record(
+                    "graph_load",
+                    source=source_key,
+                    fingerprint=graphs[source_key].fingerprint(),
+                )
+
+        # Plan every request before executing anything: hit, miss
+        # (first occurrence of a key), dedup (later occurrence), or
+        # failed (unresolvable, e.g. an unknown algorithm).
+        plans: List[Dict[str, object]] = []
+        first_for_key: Dict[str, int] = {}
+        for index, request in enumerate(normalized):
+            graph = graphs[str(request["source_key"])]
+            key, error = self._request_key(request, graph)
+            plan: Dict[str, object] = {
+                "request": request, "key": key, "payload": None,
+                "error": error, "serve": {},
+            }
+            if error is not None:
+                plan["kind"] = "failed"
+                self.trace.record(
+                    "failed", id=request["id"], error_type=error[0]
+                )
+            elif key in first_for_key:
+                plan["kind"] = "dedup"
+                self.trace.record("dedup", id=request["id"], key=key)
+            else:
+                first_for_key[key] = index
+                cached = self.cache.get(key)
+                if cached is not None:
+                    plan["kind"] = "hit"
+                    plan["payload"] = cached
+                    self.trace.record("cache_hit", id=request["id"], key=key)
+                else:
+                    plan["kind"] = "miss"
+                    self.trace.record("cache_miss", id=request["id"], key=key)
+            plans.append(plan)
+
+        self._execute_misses(plans, graphs)
+
+        # Dedup'd requests resolve to their key's outcome — payload or
+        # failure alike (an error is one outcome of the shared solve).
+        outcomes = {
+            str(plan["key"]): plan
+            for plan in plans
+            if plan["kind"] in ("hit", "miss")
+        }
+        for plan in plans:
+            if plan["kind"] == "dedup":
+                primary = outcomes[str(plan["key"])]
+                plan["payload"] = primary["payload"]
+                plan["error"] = primary["error"]
+
+        return [self._output_record(plan) for plan in plans]
+
+    def _execute_misses(
+        self, plans: List[Dict[str, object]], graphs: Dict[str, Graph]
+    ) -> None:
+        misses = [plan for plan in plans if plan["kind"] == "miss"]
+        if not misses:
+            return
+        runner = (
+            partial(_execute_request, factory=self._factory)
+            if self._in_process
+            else _execute_request
+        )
+        cells = []
+        for plan in misses:
+            request = plan["request"]
+            params = {
+                "id": request["id"],
+                "algorithm": request["algorithm"],
+                "beta": request["beta"],
+                "alpha": request["alpha"],
+                "regime": request["regime"],
+                "alpha_mem": request["alpha_mem"],
+                "seed": request["seed"],
+            }
+            cells.append(
+                Cell(
+                    key=str(plan["key"]),
+                    runner=runner,
+                    args=(graphs[str(request["source_key"])], params),
+                    workload=str(request["id"]),
+                    algorithm=str(request["algorithm"]),
+                )
+            )
+        records = run_cells(
+            "serve", cells,
+            jobs=self.jobs, retries=self.retries, timeout=self.timeout,
+        )
+        for plan, record in zip(misses, records):
+            request = plan["request"]
+            plan["serve"] = dict(record.meta)
+            if record.get("status") == FAILED:
+                plan["error"] = (
+                    str(record.get("error_type")), str(record.get("error"))
+                )
+                self.trace.record(
+                    "failed", id=request["id"], key=plan["key"],
+                    error_type=plan["error"][0],
+                )
+                continue
+            payload = dict(record.fields)
+            plan["payload"] = payload
+            self.cache.put(str(plan["key"]), payload)
+            self.trace.record(
+                "executed", id=request["id"], key=plan["key"]
+            )
+            self.trace.record(
+                "cache_store", id=request["id"], key=plan["key"]
+            )
+
+    def _output_record(self, plan: Dict[str, object]) -> Dict[str, object]:
+        request = plan["request"]
+        serve: Dict[str, object] = {"cache": plan["kind"], **plan["serve"]}
+        if plan["error"] is not None:
+            error_type, message = plan["error"]
+            return {
+                "id": request["id"],
+                "key": plan["key"],
+                "status": FAILED,
+                "error_type": error_type,
+                "error": message,
+                "_serve": serve,
+            }
+        payload = plan["payload"]
+        record: Dict[str, object] = {
+            "id": request["id"],
+            "key": plan["key"],
+            "status": "ok",
+        }
+        for field, value in payload.items():
+            if field in _TIMING_KEYS:
+                serve[field] = value  # observability, not model output
+            else:
+                record[field] = value
+        record["_serve"] = serve
+        return record

@@ -171,6 +171,38 @@ class TestFailureIsolation:
         assert records[0].get("error_type") == "WorkerCrash"
         assert records[1].get("value") == 1
 
+    def test_send_then_exit_race_is_not_a_worker_crash(self, monkeypatch):
+        """A result sent just before the worker exits must be collected.
+
+        The scheduler polls the pipe and then checks the exitcode; a
+        fast cell can complete its send and exit *between* those two
+        steps, and the bytes stay readable after the process is gone.
+        Forcing the first data-ready ``poll()`` per connection to claim
+        "no data" reproduces that interleaving deterministically: the
+        exitcode branch then sees a dead worker with an (apparently)
+        silent pipe, which the engine used to misreport as a
+        ``WorkerCrash``.
+        """
+        from multiprocessing.connection import Connection
+
+        real_poll = Connection.poll
+        lied_to = set()
+
+        def first_ready_poll_lies(self, timeout=0.0):
+            ready = real_poll(self, timeout)
+            if ready and id(self) not in lied_to:
+                lied_to.add(id(self))
+                return False
+            return ready
+
+        monkeypatch.setattr(Connection, "poll", first_ready_poll_lies)
+        for _ in range(5):
+            lied_to.clear()
+            cells = make_cells(["a", "b", "c", "d"])
+            records = run_cells(EXPERIMENT, cells, jobs=2)
+            assert failures(records) == []
+            assert [r.get("value") for r in records] == [1, 1, 1, 1]
+
     def test_timeout_kills_the_cell_not_the_sweep(self):
         cells = make_cells(["s"], runner=slow_cell) + make_cells(["a"])
         start = time.monotonic()

@@ -75,6 +75,66 @@ class TestGuarantee:
             choose_multiplier(est, max_scan=0)
 
 
+class TestScanAccounting:
+    """``a_candidates_scanned`` means the same thing in both scan modes."""
+
+    @staticmethod
+    def _estimator(p=11):
+        est = ThresholdEstimator(p)
+        est.add_vertex_term(3, 4, 1)
+        return est
+
+    def test_bounded_scan_matches_exhaustive_on_success(self):
+        exhaustive = choose_multiplier(self._estimator())
+        for budget in (1, 5, 11):
+            if budget >= exhaustive[1]:
+                assert choose_multiplier(
+                    self._estimator(), max_scan=budget
+                ) == exhaustive
+
+    @pytest.mark.parametrize("budget", [1, 2, 3])
+    def test_bounded_failure_scans_exactly_the_budget(self, budget):
+        # Every candidate fails for this estimator (negative pair weight
+        # rejects the early multipliers), so the bounded scan evaluates
+        # exactly ``budget`` candidates — and says so in the error.
+        est = ThresholdEstimator(13)
+        est.add_pair_term(0, 6, 1, 6, -1)
+        with pytest.raises(DerandomizationError) as excinfo:
+            choose_multiplier(est, max_scan=budget)
+        message = str(excinfo.value)
+        assert f"max_scan={budget}" in message
+        assert f"{budget} of 13 candidates" in message
+
+    def test_bounded_error_names_p_and_count(self):
+        est = ThresholdEstimator(13)
+        est.add_pair_term(0, 6, 1, 6, -1)
+        with pytest.raises(DerandomizationError, match=r"Z_13"):
+            choose_multiplier(est, max_scan=1)
+
+    def test_exhaustive_error_names_p_and_count(self, monkeypatch):
+        # Force the impossible case (no acceptable multiplier) by lying
+        # about the family average; the exhaustive error must report the
+        # field size and the full scan count, a = 0 included.
+        est = self._estimator(p=11)
+        target = est.expectation_x_p2()
+        monkeypatch.setattr(
+            est, "expectation_x_p2", lambda: target + 10**9
+        )
+        with pytest.raises(DerandomizationError) as excinfo:
+            choose_multiplier(est)
+        message = str(excinfo.value)
+        assert "Z_11" in message
+        assert "11 candidates scanned" in message
+
+    def test_full_budget_equals_exhaustive(self):
+        # max_scan = p admits every candidate (a = 0 included), so the
+        # bounded scan must agree with the exhaustive one triple-for-triple.
+        p = 5
+        est = ThresholdEstimator(p)
+        est.add_pair_term(0, p, 1, 1, 1)
+        assert choose_multiplier(est, max_scan=p) == choose_multiplier(est)
+
+
 class TestKnownInstances:
     def test_single_positive_term_maximized(self):
         # One term w=1, T=3 on x=2: best seeds achieve value 1; the family

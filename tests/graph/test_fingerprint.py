@@ -1,0 +1,83 @@
+"""Content-addressed graph fingerprints and O(1) re-hashing.
+
+Regression suite for the ``Graph.__hash__`` hot-path fix: hashing used
+to rebuild ``tuple(indptr)`` / ``tuple(indices)`` on every call, making
+any dict-keyed-by-Graph loop quadratic.  The digest is now computed once
+and cached on the instance; these tests pin that structurally (the digest
+helper must not run a second time) rather than by timing.
+"""
+
+import pickle
+
+import pytest
+
+import repro.graph.graph as graph_module
+from repro.graph.graph import Graph
+
+
+@pytest.fixture
+def path_graph():
+    return Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+class TestFingerprint:
+    def test_equal_graphs_share_fingerprint(self, path_graph):
+        twin = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert twin == path_graph
+        assert twin.fingerprint() == path_graph.fingerprint()
+        assert hash(twin) == hash(path_graph)
+
+    def test_different_graphs_differ(self, path_graph):
+        other = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4)])
+        assert other.fingerprint() != path_graph.fingerprint()
+
+    def test_fingerprint_is_hex_sha256(self, path_graph):
+        fp = path_graph.fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+    def test_fingerprint_stable_across_pickle(self, path_graph):
+        fp = path_graph.fingerprint()
+        clone = pickle.loads(pickle.dumps(path_graph))
+        assert clone.fingerprint() == fp
+
+    def test_fingerprint_of_empty_graph(self):
+        assert Graph.empty(0).fingerprint() != Graph.empty(1).fingerprint()
+
+
+class TestHashIsCached:
+    def test_second_hash_does_not_recompute_digest(
+        self, path_graph, monkeypatch
+    ):
+        calls = {"n": 0}
+        real = graph_module._csr_digest
+
+        def counting(indptr, indices):
+            calls["n"] += 1
+            return real(indptr, indices)
+
+        monkeypatch.setattr(graph_module, "_csr_digest", counting)
+        fresh = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        hash(fresh)
+        assert calls["n"] == 1
+        # Re-hashing and re-fingerprinting must reuse the cached digest.
+        hash(fresh)
+        fresh.fingerprint()
+        hash(fresh)
+        assert calls["n"] == 1
+
+    def test_dict_key_loop_hashes_once(self, monkeypatch):
+        calls = {"n": 0}
+        real = graph_module._csr_digest
+
+        def counting(indptr, indices):
+            calls["n"] += 1
+            return real(indptr, indices)
+
+        monkeypatch.setattr(graph_module, "_csr_digest", counting)
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        table = {g: 0}
+        for i in range(50):
+            table[g] = table[g] + 1  # two hashes per iteration, 0 digests
+        assert table[g] == 50
+        assert calls["n"] == 1

@@ -1,5 +1,8 @@
 """Execution backends: serial vs process pool, determinism, fallbacks."""
 
+import os
+import signal
+
 import pytest
 
 from repro.core.det_luby import (
@@ -27,6 +30,27 @@ def _double_store(machine):
 def _emit_to_zero(machine):
     from repro.mpc.message import Message
 
+    return [Message(dst=0, payload=(machine.mid,))]
+
+
+def _sigkill_in_worker(machine):
+    """SIGKILL the hosting process *only* when it is a pool worker.
+
+    The parent pid rides in the machine store (shipped to the worker by
+    pickling), so the in-process serial re-run after recovery executes
+    the benign branch instead of killing the test process.  Works for
+    every multiprocessing start method.
+    """
+    if os.getpid() != machine.store["parent_pid"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    machine.store["x"] = machine.mid * 3
+
+
+def _sigkill_comm(machine):
+    from repro.mpc.message import Message
+
+    if os.getpid() != machine.store["parent_pid"]:
+        os.kill(os.getpid(), signal.SIGKILL)
     return [Message(dst=0, payload=(machine.mid,))]
 
 
@@ -162,6 +186,63 @@ class TestProcessPoolExecution:
                 assert backend._executor is not None
                 raise RuntimeError("solve blew up mid-run")
         assert backend._executor is None
+
+
+class TestBrokenPoolRecovery:
+    def _machines(self, count):
+        from repro.mpc.machine import Machine
+
+        machines = []
+        for mid in range(count):
+            machine = Machine(mid)
+            machine.store["parent_pid"] = os.getpid()
+            machines.append(machine)
+        return machines
+
+    def test_sigkilled_worker_recovers_via_serial_rerun(self):
+        backend = ProcessPoolBackend(workers=2)
+        machines = self._machines(4)
+        try:
+            backend.run_local(machines, _sigkill_in_worker)
+            # The step still completed, exactly once per machine, via the
+            # serial fallback (no half-applied parallel state survives).
+            assert [m.store["x"] for m in machines] == [0, 3, 6, 9]
+            stats = backend.stats()
+            assert stats["broken_pool_recoveries"] == 1
+            assert stats["parallel_steps"] == 0
+            assert backend._executor is None  # dead pool torn down
+        finally:
+            backend.shutdown()
+
+    def test_pool_is_recreated_after_recovery(self):
+        backend = ProcessPoolBackend(workers=2)
+        machines = self._machines(4)
+        try:
+            backend.run_local(machines, _sigkill_in_worker)
+            assert backend.stats()["broken_pool_recoveries"] == 1
+            # The next parallel step lazily builds a fresh, working pool.
+            backend.run_local(machines, _double_store)
+            assert [m.store["x"] for m in machines] == [0, 2, 4, 6]
+            assert backend.stats()["parallel_steps"] == 1
+            assert backend._executor is not None
+        finally:
+            backend.shutdown()
+
+    def test_communicate_step_recovers_too(self):
+        from repro.mpc.machine import Machine
+
+        backend = ProcessPoolBackend(workers=2)
+        machines = [Machine(mid) for mid in range(4)]
+        for machine in machines:
+            machine.store["parent_pid"] = os.getpid()
+        try:
+            outboxes = backend.run_communicate(machines, _sigkill_comm)
+            assert [ob[0].payload for ob in outboxes] == [
+                (0,), (1,), (2,), (3,),
+            ]
+            assert backend.stats()["broken_pool_recoveries"] == 1
+        finally:
+            backend.shutdown()
 
 
 class TestBackendEquivalence:

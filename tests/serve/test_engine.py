@@ -1,0 +1,354 @@
+"""BatchEngine: dedup, warm serving, parallel determinism, failures."""
+
+import json
+
+import pytest
+
+from repro.core import registry
+from repro.core.pipeline import solve_ruling_set
+from repro.core.session import SessionFactory
+from repro.errors import ServeError
+from repro.graph import generators as gen
+from repro.serve import (
+    BatchEngine,
+    ResultCache,
+    payload_to_result,
+    read_requests,
+    write_records,
+)
+
+GNP = {"family": "gnp", "n": 96, "param": 6, "seed": 1}
+TREE = {"family": "tree", "n": 64, "seed": 2}
+
+
+def _requests():
+    return [
+        {"id": "a", "graph": dict(GNP), "algorithm": registry.DET_RULING},
+        {"id": "b", "graph": dict(GNP), "algorithm": registry.DET_RULING},
+        {"id": "c", "graph": dict(GNP), "algorithm": registry.DET_LUBY},
+        {"id": "d", "graph": dict(TREE), "algorithm": registry.DET_MATCHING},
+    ]
+
+
+def _strip_serve(records):
+    return [
+        {key: value for key, value in record.items() if key != "_serve"}
+        for record in records
+    ]
+
+
+class TestPlanning:
+    def test_identical_requests_dedup_to_one_execution(self):
+        engine = BatchEngine(ResultCache())
+        records = engine.run(_requests())
+        counters = engine.trace.counters
+        assert counters["executed"] == 3  # a/b collapse
+        assert counters["dedup"] == 1
+        shared = [
+            {k: v for k, v in record.items() if k not in ("id", "_serve")}
+            for record in records[:2]
+        ]
+        assert shared[0] == shared[1]  # b serves a's solve verbatim
+        assert records[0]["_serve"]["cache"] == "miss"
+        assert records[1]["_serve"]["cache"] == "dedup"
+
+    def test_one_graph_load_per_distinct_source(self):
+        engine = BatchEngine(ResultCache())
+        engine.run(_requests())
+        assert engine.trace.counters["graph_load"] == 2
+
+    def test_records_preserve_input_order_and_ids(self):
+        engine = BatchEngine(ResultCache())
+        records = engine.run(_requests())
+        assert [record["id"] for record in records] == ["a", "b", "c", "d"]
+
+    def test_default_ids_are_positional(self):
+        engine = BatchEngine(ResultCache())
+        records = engine.run(
+            [{"graph": dict(TREE), "algorithm": registry.GREEDY_MIS}]
+        )
+        assert records[0]["id"] == "req-0"
+
+    def test_unknown_algorithm_is_a_failure_record_not_a_crash(self):
+        engine = BatchEngine(ResultCache())
+        records = engine.run(
+            [
+                {"id": "bad", "graph": dict(TREE), "algorithm": "nope"},
+                {"id": "ok", "graph": dict(TREE),
+                 "algorithm": registry.GREEDY_MIS},
+            ]
+        )
+        assert records[0]["status"] == "failed"
+        assert records[0]["error_type"] == "AlgorithmError"
+        assert records[1]["status"] == "ok"
+        assert engine.trace.counters["failed"] == 1
+
+    def test_solve_failure_is_recorded_and_not_cached(self):
+        # alpha > 2 is unsupported by the Luby MIS engine: the solve
+        # raises, the batch records it, and nothing lands in the cache.
+        cache = ResultCache()
+        engine = BatchEngine(cache)
+        records = engine.run(
+            [{"id": "x", "graph": dict(TREE),
+              "algorithm": registry.DET_LUBY, "alpha": 3}]
+        )
+        assert records[0]["status"] == "failed"
+        assert cache.stats()["stores"] == 0
+        # A rerun must re-fail (errors are outcomes, never cached).
+        engine2 = BatchEngine(cache)
+        rerun = engine2.run(
+            [{"id": "x", "graph": dict(TREE),
+              "algorithm": registry.DET_LUBY, "alpha": 3}]
+        )
+        assert rerun[0]["status"] == "failed"
+        assert _strip_serve(records) == _strip_serve(rerun)
+
+    def test_dedup_of_a_failure_shares_the_outcome(self):
+        engine = BatchEngine(ResultCache())
+        records = engine.run(
+            [
+                {"id": "x", "graph": dict(TREE),
+                 "algorithm": registry.DET_LUBY, "alpha": 3},
+                {"id": "y", "graph": dict(TREE),
+                 "algorithm": registry.DET_LUBY, "alpha": 3},
+            ]
+        )
+        assert engine.trace.counters["executed"] == 0
+        assert engine.trace.counters["failed"] == 1
+        assert records[1]["status"] == "failed"
+        assert records[1]["error"] == records[0]["error"]
+
+    def test_oversized_batch_refused(self):
+        engine = BatchEngine(ResultCache(), max_requests=2)
+        with pytest.raises(ServeError, match="max_requests=2"):
+            engine.run(_requests())
+
+    def test_unknown_request_field_rejected(self):
+        engine = BatchEngine(ResultCache())
+        with pytest.raises(ServeError, match="unknown fields"):
+            engine.run([{"graph": dict(TREE), "betta": 2}])
+
+    def test_missing_graph_rejected(self):
+        engine = BatchEngine(ResultCache())
+        with pytest.raises(ServeError, match="'graph'"):
+            engine.run([{"algorithm": registry.DET_RULING}])
+
+
+class TestWarmServing:
+    def test_second_run_is_all_hits_with_zero_executions(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        BatchEngine(cache).run(_requests())
+        warm = BatchEngine(ResultCache(disk_dir=tmp_path))
+        records = warm.run(_requests())
+        assert warm.trace.counters["executed"] == 0
+        assert warm.trace.counters["cache_miss"] == 0
+        assert warm.trace.counters["cache_hit"] == 3
+        assert all(record["status"] == "ok" for record in records)
+
+    def test_warm_records_identical_to_cold_modulo_serve(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cold = BatchEngine(cache).run(_requests())
+        warm = BatchEngine(ResultCache(disk_dir=tmp_path)).run(_requests())
+        assert _strip_serve(cold) == _strip_serve(warm)
+
+    def test_cache_hit_reconstructs_bit_identical_result(self):
+        # The tentpole acceptance test: serve a request cold, then
+        # rebuild the result object from the cache and compare it (==,
+        # wall clock included) against a direct pipeline solve captured
+        # from the same execution.
+        graph = gen.gnp_random_graph(96, 6, 96, seed=1)
+        direct = solve_ruling_set(graph, algorithm=registry.DET_RULING)
+        cache = ResultCache()
+        engine = BatchEngine(cache)
+        records = engine.run(
+            [{"id": "a", "graph": dict(GNP),
+              "algorithm": registry.DET_RULING}]
+        )
+        restored = payload_to_result(cache.get(records[0]["key"]))
+        assert restored.members == direct.members
+        assert restored.rounds == direct.rounds
+        assert restored.metrics == direct.metrics
+        assert restored.phase_rounds == direct.phase_rounds
+        # And the round-trip through the cache itself is exact.
+        assert payload_to_result(cache.get(records[0]["key"])) == restored
+
+    def test_hit_serves_without_entering_the_simulator(self, tmp_path):
+        import repro.core.session as session_module
+
+        cache = ResultCache(disk_dir=tmp_path)
+        BatchEngine(cache).run(_requests())
+        engine = BatchEngine(ResultCache(disk_dir=tmp_path))
+        calls = {"n": 0}
+        original = session_module.SolverSession._run_mpc
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        session_module.SolverSession._run_mpc = counting
+        try:
+            engine.run(_requests())
+        finally:
+            session_module.SolverSession._run_mpc = original
+        assert calls["n"] == 0  # zero MPC rounds executed on a warm cache
+
+
+class TestParallelDeterminism:
+    def test_jobs_gt_1_matches_serial_record_for_record(self):
+        serial = BatchEngine(ResultCache()).run(_requests())
+        parallel = BatchEngine(ResultCache(), jobs=2).run(_requests())
+        assert _strip_serve(serial) == _strip_serve(parallel)
+
+    def test_retries_do_not_change_records(self):
+        plain = BatchEngine(ResultCache()).run(_requests())
+        retried = BatchEngine(ResultCache(), retries=2).run(_requests())
+        assert _strip_serve(plain) == _strip_serve(retried)
+
+
+class TestWarmSessions:
+    def test_factory_solve_matches_cold_solve(self):
+        graph = gen.gnp_random_graph(96, 6, 96, seed=7)
+        factory = SessionFactory()
+        warm = solve_ruling_set(
+            graph, algorithm=registry.DET_RULING, session_factory=factory
+        )
+        cold = solve_ruling_set(graph, algorithm=registry.DET_RULING)
+        assert warm.members == cold.members
+        assert warm.rounds == cold.rounds
+        assert warm.metrics == cold.metrics
+        assert warm.phase_rounds == cold.phase_rounds
+
+    def test_power_graph_built_once_across_alpha_solves(self):
+        graph = gen.gnp_random_graph(64, 4, 64, seed=7)
+        factory = SessionFactory()
+        first = solve_ruling_set(
+            graph, algorithm=registry.DET_RULING, alpha=3,
+            session_factory=factory,
+        )
+        assert len(factory._power_cache) == 1
+        cached_power = next(iter(factory._power_cache.values()))
+        second = solve_ruling_set(
+            graph, algorithm=registry.DET_RULING, alpha=3,
+            session_factory=factory,
+        )
+        assert len(factory._power_cache) == 1
+        assert next(iter(factory._power_cache.values())) is cached_power
+        assert first.members == second.members
+
+    def test_config_cache_reused_across_solves(self):
+        graph = gen.gnp_random_graph(64, 4, 64, seed=7)
+        factory = SessionFactory()
+        solve_ruling_set(
+            graph, algorithm=registry.DET_RULING, session_factory=factory
+        )
+        solve_ruling_set(
+            graph, algorithm=registry.DET_RULING, beta=3,
+            session_factory=factory,
+        )
+        # beta is not a sizing input, so both solves share one config.
+        assert len(factory._config_cache) == 1
+
+
+class TestRequestIO:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(req) for req in _requests()) + "\n\n"
+        )
+        assert read_requests(path) == _requests()
+
+    def test_malformed_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"id": "a"}\nnot json\n')
+        with pytest.raises(ServeError, match=":2"):
+            read_requests(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ServeError, match="JSON object"):
+            read_requests(path)
+
+    def test_write_records_round_trips(self, tmp_path):
+        records = BatchEngine(ResultCache()).run(
+            [{"id": "a", "graph": dict(TREE),
+              "algorithm": registry.GREEDY_MIS}]
+        )
+        out = tmp_path / "out.jsonl"
+        write_records(records, out)
+        parsed = [json.loads(line) for line in out.read_text().splitlines()]
+        assert parsed == records
+
+
+class TestCLI:
+    def _write_requests(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(req) for req in _requests()) + "\n"
+        )
+        return path
+
+    def test_batch_twice_second_run_all_hits(self, tmp_path, capsys):
+        from repro.cli import main
+
+        requests = self._write_requests(tmp_path)
+        args = [
+            "batch", "--requests", str(requests),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args + ["--out", str(tmp_path / "run1.jsonl")]) == 0
+        assert main(args + ["--out", str(tmp_path / "run2.jsonl")]) == 0
+        err = capsys.readouterr().err
+        assert "hits=3 misses=0 dedup=1 executed=0" in err
+        first = (tmp_path / "run1.jsonl").read_text().splitlines()
+        second = (tmp_path / "run2.jsonl").read_text().splitlines()
+        strip = lambda lines: _strip_serve([json.loads(l) for l in lines])
+        assert strip(first) == strip(second)
+
+    def test_batch_failure_exit_code(self, tmp_path):
+        from repro.cli import main
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            json.dumps({"id": "bad", "graph": dict(TREE),
+                        "algorithm": "nope"}) + "\n"
+        )
+        assert main(
+            ["batch", "--requests", str(requests),
+             "--out", str(tmp_path / "out.jsonl")]
+        ) == 1
+
+    def test_cache_warm_stats_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        requests = self._write_requests(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["cache", "warm", "--cache-dir", cache_dir,
+             "--requests", str(requests)]
+        ) == 0
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "disk entries: 3" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 3" in capsys.readouterr().out
+
+    def test_cache_requires_dir(self):
+        from repro.cli import main
+
+        assert main(["cache", "stats"]) == 2  # ReproError exit path
+
+    def test_batch_trace_out(self, tmp_path):
+        from repro.cli import main
+
+        requests = self._write_requests(tmp_path)
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["batch", "--requests", str(requests),
+             "--out", str(tmp_path / "out.jsonl"),
+             "--trace-out", str(trace_path)]
+        ) == 0
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        assert lines[0]["layer"] == "serve"
+        assert lines[-1]["type"] == "summary"
+        assert lines[-1]["executed"] == 3

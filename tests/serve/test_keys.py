@@ -1,0 +1,113 @@
+"""Cache-key canonicalization: semantic fields in, everything else out."""
+
+from repro.core import registry
+from repro.core.registry import canonical_cache_params
+from repro.graph import generators as gen
+from repro.mpc.config import MPCConfig
+from repro.serve import cache_key
+
+DET = registry.get_algorithm(registry.DET_RULING)
+RAND = registry.get_algorithm(registry.RAND_RULING)
+MATCH = registry.get_algorithm(registry.DET_MATCHING)
+
+
+class TestCanonicalParams:
+    def test_non_semantic_config_fields_do_not_fragment(self):
+        # Two explicit configs that differ only in execution strategy
+        # and observability (backend, workers, trace, label) must key
+        # identically: the backend/trace layers guarantee bit-identical
+        # results, so distinct entries would be pure cache misses.
+        base = MPCConfig(num_machines=8, memory_words=4096)
+        noisy = MPCConfig(
+            num_machines=8, memory_words=4096, label="noisy",
+            backend="process", backend_workers=4,
+            trace=True, trace_warn_utilization=0.5,
+        )
+        assert canonical_cache_params(
+            DET, config=base
+        ) == canonical_cache_params(DET, config=noisy)
+
+    def test_model_config_fields_do_fragment(self):
+        a = MPCConfig(num_machines=8, memory_words=4096)
+        b = MPCConfig(num_machines=16, memory_words=4096)
+        assert canonical_cache_params(
+            DET, config=a
+        ) != canonical_cache_params(DET, config=b)
+
+    def test_regimes_fragment(self):
+        assert canonical_cache_params(
+            DET, regime="sublinear"
+        ) != canonical_cache_params(DET, regime="near-linear")
+
+    def test_alpha_mem_fragments(self):
+        assert canonical_cache_params(
+            DET, alpha_mem=(2, 3)
+        ) != canonical_cache_params(DET, alpha_mem=(1, 2))
+
+    def test_seed_ignored_for_seedless(self):
+        assert canonical_cache_params(
+            DET, seed=0
+        ) == canonical_cache_params(DET, seed=123)
+
+    def test_seed_kept_for_seeded(self):
+        assert canonical_cache_params(
+            RAND, seed=0
+        ) != canonical_cache_params(RAND, seed=123)
+
+    def test_beta_alpha_dropped_for_matching(self):
+        params = canonical_cache_params(MATCH, beta=3, alpha=4)
+        assert "beta" not in params
+        assert "alpha" not in params
+        assert params == canonical_cache_params(MATCH, beta=2, alpha=2)
+
+    def test_beta_alpha_kept_for_ruling_set(self):
+        assert canonical_cache_params(
+            DET, beta=2
+        ) != canonical_cache_params(DET, beta=3)
+        assert canonical_cache_params(
+            DET, alpha=2
+        ) != canonical_cache_params(DET, alpha=3)
+
+    def test_explicit_config_suppresses_regime(self):
+        cfg = MPCConfig(num_machines=8, memory_words=4096)
+        params = canonical_cache_params(DET, config=cfg, regime="sublinear")
+        assert "regime" not in params
+        assert params["config"] == {
+            "num_machines": 8, "memory_words": 4096,
+        }
+
+    def test_json_safe(self):
+        import json
+
+        for spec in (DET, RAND, MATCH):
+            params = canonical_cache_params(spec)
+            assert json.loads(json.dumps(params)) == params
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        params = canonical_cache_params(DET)
+        fp = gen.cycle_graph(16).fingerprint()
+        assert cache_key(fp, params) == cache_key(fp, params)
+
+    def test_is_hex_sha256(self):
+        key = cache_key("fp", {"a": 1})
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_graph_content_fragments(self):
+        params = canonical_cache_params(DET)
+        a = gen.cycle_graph(16).fingerprint()
+        b = gen.cycle_graph(17).fingerprint()
+        assert cache_key(a, params) != cache_key(b, params)
+
+    def test_params_fragment(self):
+        fp = gen.cycle_graph(16).fingerprint()
+        assert cache_key(
+            fp, canonical_cache_params(DET, beta=2)
+        ) != cache_key(fp, canonical_cache_params(DET, beta=3))
+
+    def test_key_independent_of_dict_insertion_order(self):
+        assert cache_key("fp", {"a": 1, "b": 2}) == cache_key(
+            "fp", {"b": 2, "a": 1}
+        )
