@@ -117,6 +117,7 @@ def cmd_solve(args) -> int:
         seed=args.seed,
         backend=args.backend,
         backend_workers=args.workers,
+        kernel=args.kernel,
         trace=trace_out is not None,
     )
     if trace_out is not None:
@@ -168,6 +169,7 @@ def cmd_trace(args) -> int:
         seed=args.seed,
         backend=args.backend,
         backend_workers=args.workers,
+        kernel=args.kernel,
         trace=True,
         trace_warn_utilization=args.warn_utilization,
     )
@@ -227,6 +229,7 @@ def cmd_match(args) -> int:
         seed=args.seed,
         backend=args.backend,
         backend_workers=args.workers,
+        kernel=args.kernel,
         trace=trace_out is not None,
     )
     if trace_out is not None:
@@ -442,6 +445,13 @@ def make_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=0,
             help="process-pool size for --backend process (0 = one per CPU)",
         )
+        parser.add_argument(
+            "--kernel", default=None, choices=("python", "numpy"),
+            help="machine-local compute kernel (results are bit-identical; "
+            "'numpy' vectorizes the hot loops and falls back to 'python' "
+            "when NumPy is not installed; default: $REPRO_KERNEL or "
+            "'python')",
+        )
 
     p_solve = sub.add_parser("solve", help="compute a verified ruling set")
     _add_graph_source(p_solve)
@@ -489,6 +499,10 @@ def make_parser() -> argparse.ArgumentParser:
     p_match.add_argument(
         "--workers", type=int, default=0,
         help="process-pool size for --backend process (0 = one per CPU)",
+    )
+    p_match.add_argument(
+        "--kernel", default=None, choices=("python", "numpy"),
+        help="machine-local compute kernel (results are bit-identical)",
     )
     p_match.add_argument(
         "--trace-out", default=None,

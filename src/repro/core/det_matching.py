@@ -236,6 +236,7 @@ def solve_matching(
     config=None,
     backend: Optional[str] = None,
     backend_workers: int = 0,
+    kernel: Optional[str] = None,
     trace: bool = False,
     trace_warn_utilization: float = 0.9,
     session_factory=None,
@@ -245,8 +246,9 @@ def solve_matching(
     A thin registry lookup over :class:`~repro.core.session.SolverSession`
     — the same dispatch and lifecycle as ``solve_ruling_set``, which is
     what gives matching the full driver surface: named ``regime`` /
-    explicit ``config``, ``backend`` / ``backend_workers`` fan-out, and
-    the superstep ``trace`` (all with the usual bit-identity contracts).
+    explicit ``config``, ``backend`` / ``backend_workers`` fan-out, the
+    ``kernel`` compute backend, and the superstep ``trace`` (all with
+    the usual bit-identity contracts).
 
     ``algorithm`` is any registered matching algorithm name; when
     ``None`` it is picked from the ``deterministic`` flag
@@ -283,6 +285,7 @@ def solve_matching(
     session = build_session(
         graph, spec, regime=regime, alpha_mem=alpha_mem, config=config,
         seed=seed, backend=backend, backend_workers=backend_workers,
+        kernel=kernel,
         trace=trace, trace_warn_utilization=trace_warn_utilization,
     )
     run = session.run()

@@ -50,6 +50,13 @@ from repro.mpc.graph_store import ADJ, DistributedGraph
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 from repro.mpc.primitives.aggregate import reduce_scalar
+from repro.mpc.state_layout import (
+    KERNEL_NUMPY,
+    MachineCSR,
+    kernel_of,
+    numpy_or_none,
+    supports_modulus,
+)
 
 IN_SET = "rs_in_set"
 ITER_MEMBERS = "rs_iter_members"
@@ -72,8 +79,29 @@ def scanning_chooser(batch: int = 32, max_batches: int = 512) -> SamplingChooser
         n_level: int,
         n_high: int,
     ) -> Tuple[Seed, int]:
+        np_mod = (
+            numpy_or_none()
+            if kernel_of(dg.sim) == KERNEL_NUMPY and supports_modulus(p)
+            else None
+        )
+        # The adjacency layer is immutable for the duration of one scan,
+        # so each machine's CSR view is built once and reused across
+        # every candidate seed in every batch.
+        csr_cache: Dict[int, MachineCSR] = {}
+
         def local_stats(machine: Machine, seed: Seed) -> Tuple[int, int]:
             adj = machine.store[adj_key]
+            if np_mod is not None:
+                csr = csr_cache.get(machine.mid)
+                if csr is None:
+                    csr = MachineCSR.from_adjacency(adj, np_mod)
+                    csr_cache[machine.mid] = csr
+                sampled = int((csr.hash_ids(seed) < threshold).sum())
+                covered = csr.row_any(csr.hash_indices(seed) < threshold)
+                uncovered_high = int(
+                    ((csr.degrees >= high_degree) & ~covered).sum()
+                )
+                return (sampled, uncovered_high)
             sampled = 0
             uncovered_high = 0
             for v, neighbors in adj.items():
@@ -253,6 +281,11 @@ def det_ruling_set(
         )
     sim = dg.sim
     p = modulus_for(dg.num_vertices)
+    np_mod = (
+        numpy_or_none()
+        if kernel_of(sim) == KERNEL_NUMPY and supports_modulus(p)
+        else None
+    )
     choose = chooser if chooser is not None else scanning_chooser()
     budget = sim.config.memory_words // 2
     limit = (
@@ -340,6 +373,13 @@ def det_ruling_set(
                 s=seed, t=threshold,
             ) -> None:
                 adj = machine.store[src]
+                if np_mod is not None:
+                    # Same rows, same order, same tuples — computed by
+                    # array masks instead of per-entry hash calls.
+                    machine.store[dst] = MachineCSR.from_adjacency(
+                        adj, np_mod
+                    ).sampled_subgraph(s, t)
+                    return
                 machine.store[dst] = {
                     v: tuple(u for u in nbrs if s.hash(u) < t)
                     for v, nbrs in adj.items()

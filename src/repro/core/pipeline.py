@@ -64,6 +64,7 @@ def solve_ruling_set(
     verify: bool = True,
     backend: Optional[str] = None,
     backend_workers: int = 0,
+    kernel: Optional[str] = None,
     trace: bool = False,
     trace_warn_utilization: float = 0.9,
     session_factory: Optional[SessionFactory] = None,
@@ -99,6 +100,12 @@ def solve_ruling_set(
         ``"process"``; see :mod:`repro.mpc.backends`).  Execution
         strategy only: every backend produces bit-identical members,
         rounds, and communication metrics.
+    kernel:
+        Machine-local compute kernel override (``"python"`` reference or
+        ``"numpy"`` vectorized; see :mod:`repro.mpc.state_layout`).
+        ``None`` defers to ``REPRO_KERNEL``, then the reference kernel.
+        Like ``backend``, execution strategy only — both kernels are
+        bit-identical by contract.
     trace / trace_warn_utilization:
         Enable the structured superstep trace (MPC algorithms only;
         ignored by the sequential/LOCAL baselines, which never touch
@@ -143,7 +150,7 @@ def solve_ruling_set(
     session = build_session(
         graph, spec, beta=beta, alpha=alpha, regime=regime,
         alpha_mem=alpha_mem, config=config, seed=seed,
-        backend=backend, backend_workers=backend_workers,
+        backend=backend, backend_workers=backend_workers, kernel=kernel,
         trace=trace, trace_warn_utilization=trace_warn_utilization,
     )
     run = session.run()

@@ -133,6 +133,7 @@ class SolverSession:
         seed: int = 0,
         backend: Optional[str] = None,
         backend_workers: int = 0,
+        kernel: Optional[str] = None,
         trace: bool = False,
         trace_warn_utilization: float = 0.9,
         in_set_key: str = "result_set",
@@ -148,6 +149,7 @@ class SolverSession:
         self.seed = seed
         self.backend = backend
         self.backend_workers = backend_workers
+        self.kernel = kernel
         self.trace_enabled = trace
         self.trace_warn_utilization = trace_warn_utilization
         self.in_set_key = in_set_key
@@ -187,8 +189,9 @@ class SolverSession:
 
         Explicit config wins over the named regime; the spec's
         ``config_factory`` (when present) owns problem-specific sizing
-        (e.g. the matching line-graph footprint).  Backend and trace
-        settings are applied here so every MPC algorithm shares them.
+        (e.g. the matching line-graph footprint).  Backend, kernel, and
+        trace settings are applied here so every MPC algorithm shares
+        them.
         """
         if self.explicit_config is not None:
             cfg = self.explicit_config
@@ -200,6 +203,8 @@ class SolverSession:
             cfg = make_config(self.sizing_graph, self.regime, self.alpha_mem)
         if self.backend is not None:
             cfg = cfg.with_backend(self.backend, self.backend_workers)
+        if self.kernel is not None:
+            cfg = cfg.with_kernel(self.kernel)
         if self.trace_enabled and not cfg.trace:
             cfg = cfg.with_trace(
                 warn_utilization=self.trace_warn_utilization

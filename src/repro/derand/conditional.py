@@ -31,6 +31,18 @@ from typing import Iterator, Optional, Tuple
 from repro.derand.estimator import ThresholdEstimator
 from repro.derand.family import Seed
 from repro.errors import DerandomizationError
+from repro.mpc.state_layout import KERNEL_NUMPY
+
+# Candidate batch ramp for the vectorized multiplier scan: the accepted
+# multiplier is usually within the first handful of candidates (the
+# family average argument guarantees density), so the numpy kernel
+# starts with a small batch and quadruples on every miss up to a cap —
+# little wasted evaluation on the common case, still one big overlap
+# matrix per call on the adversarial tail.  The reference kernel keeps
+# batch 1 so it never evaluates a candidate the serial early-exit loop
+# would not have.
+_A_SCAN_BATCH_START = 8
+_A_SCAN_BATCH_CAP = 512
 
 
 @dataclass(frozen=True)
@@ -58,6 +70,13 @@ def choose_multiplier(
     average.  ``max_scan`` bounds the scan for callers that prefer to fail
     fast; by default the scan is exhaustive (an acceptable ``a`` always
     exists, so exhaustion indicates an internal bug and raises).
+
+    Under the numpy kernel candidates are evaluated in batches through
+    :meth:`~repro.derand.estimator.ThresholdEstimator.cond_a_x_p_many`;
+    the accepted multiplier and the scanned count are those of the
+    serial scan — a candidate counts as scanned exactly when it precedes
+    (or is) the accepted one, and ``max_scan`` caps the candidates
+    *eligible* for evaluation, never how the batch happens to align.
     """
     p = estimator.p
     target = estimator.expectation_x_p2()
@@ -68,12 +87,28 @@ def choose_multiplier(
     # counter, so whether ``a = 0`` appeared in the count depended on
     # which path exhausted — the stats were not comparable between
     # bounded and exhaustive runs of the same estimator.
-    for a in scan_order_a(p):
-        if max_scan is not None and scanned >= max_scan:
+    vectorized = estimator.kernel == KERNEL_NUMPY
+    chunk_size = _A_SCAN_BATCH_START if vectorized else 1
+    order = scan_order_a(p)
+    exhausted = False
+    while not exhausted:
+        chunk = []
+        while len(chunk) < chunk_size:
+            if max_scan is not None and scanned + len(chunk) >= max_scan:
+                break
+            a = next(order, None)
+            if a is None:
+                exhausted = True
+                break
+            chunk.append(a)
+        if not chunk:
             break
-        scanned += 1
-        if p * estimator.cond_a_x_p(a) >= target:
-            return a, scanned, target
+        for a, cond in zip(chunk, estimator.cond_a_x_p_many(chunk)):
+            scanned += 1
+            if p * cond >= target:
+                return a, scanned, target
+        if vectorized:
+            chunk_size = min(chunk_size * 4, _A_SCAN_BATCH_CAP)
     if max_scan is None:
         raise DerandomizationError(
             f"no multiplier met the family average over Z_{p} "
@@ -107,8 +142,7 @@ def fix_offset_bits(estimator: ThresholdEstimator, a: int) -> Tuple[int, int]:
         fixed += 1
         if right_count <= 0:
             continue  # right child entirely above p: keep left (lo as-is)
-        left_sum = estimator.cond_ab_range(a, left[0], left[1])
-        right_sum = estimator.cond_ab_range(a, right[0], right[1])
+        left_sum, right_sum = estimator.cond_ab_range_many(a, [left, right])
         # Compare averages exactly: left_sum/left_count vs right_sum/right_count
         if right_sum * left_count > left_sum * right_count:
             lo += width

@@ -39,7 +39,24 @@ this is invisible to callers):
   ``cond_ab_range`` query for that ``a`` — the offset-fixing stage asks
   about ~``2^c · ceil(log2(p)/c)`` ranges under a single multiplier, and
   previously re-derived every interval per range.  Adding a term
-  invalidates the cache, so caching can never change a result.
+  invalidates the cache, so caching can never change a result.  The
+  cache keys include the modulus alongside the multiplier: ``p`` is
+  immutable per instance, so the extra key component is pure defence —
+  no future refactor can make a cache entry derived in one field answer
+  a query in another.
+
+**Kernels.**  ``kernel="numpy"`` stores the terms a second time as flat
+int64 arrays and evaluates every query (and the batched ``*_many``
+variants the seed search uses) with array expressions instead of
+per-term Python loops.  The array path is *exact by construction*: the
+modulus must satisfy :func:`repro.mpc.state_layout.supports_modulus`
+(int64 hash products cannot wrap), weighted sums are int64 only when a
+precomputed magnitude bound proves no overflow and fall back to
+arbitrary-precision Python summation otherwise, and every result is
+converted back to a plain ``int``.  Any condition the array path cannot
+prove exact silently routes the call through the reference kernel — the
+two kernels are bit-identical by contract (CI replays the refactor
+parity oracle under both and fails on any record diff).
 """
 
 from __future__ import annotations
@@ -49,12 +66,20 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.derand.family import Seed
 from repro.errors import DerandomizationError
+from repro.mpc.state_layout import (
+    KERNEL_NUMPY,
+    KERNEL_PYTHON,
+    numpy_or_none,
+    supports_modulus,
+)
 from repro.util.intervals import (
     intersect_segments,
     interval_to_segments,
     segments_length,
     segments_overlap_range,
 )
+
+_INT64_MAX = (1 << 63) - 1
 
 
 @dataclass(frozen=True)
@@ -78,9 +103,15 @@ class PairTerm:
 
 
 class ThresholdEstimator:
-    """A weighted sum of threshold events, exactly analysable mod ``p``."""
+    """A weighted sum of threshold events, exactly analysable mod ``p``.
 
-    def __init__(self, p: int):
+    ``kernel`` selects the evaluation backend: ``"python"`` (reference,
+    default) or ``"numpy"`` (vectorized, bit-identical, used when NumPy
+    is importable and the modulus fits the exactness guard — otherwise
+    the instance degrades to the reference kernel automatically).
+    """
+
+    def __init__(self, p: int, kernel: str = KERNEL_PYTHON):
         if p < 2:
             raise DerandomizationError(f"modulus must be >= 2, got {p}")
         self.p = p
@@ -89,9 +120,23 @@ class ThresholdEstimator:
         # Running sums maintained at insertion (term lists are append-only).
         self._vertex_weighted_thresholds = 0  # Σ w·T   (cond_a_x_p vertex part)
         self._expectation_x_p2 = 0            # Σ w·T·p + Σ w·T1·T2
-        # Per-multiplier segment cache: (a, [(weight, segments), ...]).
-        self._a_cache_key: Optional[int] = None
+        self._max_abs_weight = 0              # array-path overflow bound
+        # Columnar copies of the term fields, appended at insertion:
+        # ``np.array(list_of_ints)`` converts at C speed, where iterating
+        # dataclass attributes per element would dominate the array
+        # path's setup cost on small estimators.
+        self._cols: Tuple[List[int], ...] = tuple([] for _ in range(8))
+        # Per-multiplier segment cache: ((p, a), [(weight, segments), ...]).
+        self._a_cache_key: Optional[Tuple[int, int]] = None
         self._a_cache_terms: Optional[List[Tuple[int, List[Tuple[int, int]]]]] = None
+        # Array backend: flat int64 term arrays + per-multiplier arcs.
+        self._np = numpy_or_none() if kernel == KERNEL_NUMPY else None
+        if self._np is not None and not supports_modulus(p):
+            self._np = None
+        self.kernel = KERNEL_NUMPY if self._np is not None else KERNEL_PYTHON
+        self._flat: Optional[dict] = None
+        self._arc_cache_key: Optional[Tuple[int, int]] = None
+        self._arc_cache: Optional[Tuple[object, object, object]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -102,9 +147,14 @@ class ThresholdEstimator:
         self.vertex_terms.append(
             VertexTerm(x=x, threshold=threshold, weight=weight)
         )
+        vx, vt, vw = self._cols[0], self._cols[1], self._cols[2]
+        vx.append(x)
+        vt.append(threshold)
+        vw.append(weight)
         self._vertex_weighted_thresholds += weight * threshold
         self._expectation_x_p2 += weight * threshold * self.p
-        self._a_cache_key = self._a_cache_terms = None
+        self._max_abs_weight = max(self._max_abs_weight, abs(weight))
+        self._invalidate_caches()
 
     def add_pair_term(
         self, x1: int, t1: int, x2: int, t2: int, weight: int
@@ -123,8 +173,21 @@ class ThresholdEstimator:
         self.pair_terms.append(
             PairTerm(x1=x1, t1=t1, x2=x2, t2=t2, weight=weight)
         )
+        px1, pt1, px2, pt2, pw = self._cols[3:]
+        px1.append(x1)
+        pt1.append(t1)
+        px2.append(x2)
+        pt2.append(t2)
+        pw.append(weight)
         self._expectation_x_p2 += weight * t1 * t2
+        self._max_abs_weight = max(self._max_abs_weight, abs(weight))
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Terms changed: every derived structure is stale."""
         self._a_cache_key = self._a_cache_terms = None
+        self._flat = None
+        self._arc_cache_key = self._arc_cache = None
 
     def _check_threshold(self, threshold: int) -> None:
         if not 0 <= threshold <= self.p:
@@ -138,6 +201,113 @@ class ThresholdEstimator:
         return len(self.vertex_terms) + len(self.pair_terms)
 
     # ------------------------------------------------------------------
+    # Array backend plumbing
+    # ------------------------------------------------------------------
+    def _flat_terms_arrays(self) -> Optional[dict]:
+        """Flat int64 term arrays, or None when the array path can't run.
+
+        Built lazily once per term-set (the term lists are append-only
+        and every append invalidates).  A term value outside int64 —
+        ids and thresholds are bounded by ``p`` so only a pathological
+        weight can get there — disables the array path for this
+        instance rather than risking a wrapped product.
+        """
+        if self._np is None:
+            return None
+        if self._flat is None:
+            np = self._np
+            try:
+                arrays = [
+                    np.array(col, dtype=np.int64) for col in self._cols
+                ]
+            except OverflowError:
+                self._np = None
+                self.kernel = KERNEL_PYTHON
+                return None
+            vx, vt, vw, px1, pt1, px2, pt2, pw = arrays
+            self._flat = {
+                "vx": vx, "vt": vt, "vw": vw,
+                "px1": px1, "pt1": pt1, "px2": px2, "pt2": pt2, "pw": pw,
+                # (x1 - x2) per pair term, shared by every overlap query.
+                "pdx": px1 - px2,
+            }
+        return self._flat
+
+    def _sum_exact(self, weights, values, count: int) -> int:
+        """Σ weights·values as an exact Python int.
+
+        int64 arithmetic is used only when the precomputed magnitude
+        bound proves the products and their sum cannot overflow;
+        otherwise the reduction runs in arbitrary-precision Python ints
+        (same result, slower — exactness is never negotiable).
+        """
+        if count == 0:
+            return 0
+        bound = self._max_abs_weight * self.p * count
+        if bound <= _INT64_MAX:
+            return int((weights * values).sum())
+        return sum(
+            w * v for w, v in zip(weights.tolist(), values.tolist())
+        )
+
+    def _sum_exact_rows(self, weights, values, count: int) -> List[int]:
+        """Row-wise Σ weights·values for a 2-D ``values`` matrix."""
+        if count == 0:
+            return [0] * values.shape[0]
+        bound = self._max_abs_weight * self.p * count
+        if bound <= _INT64_MAX:
+            return [int(s) for s in (weights * values).sum(axis=1).tolist()]
+        return [
+            sum(w * v for w, v in zip(weights.tolist(), row))
+            for row in values.tolist()
+        ]
+
+    def _pair_overlap_matrix(self, flat: dict, a_column):
+        """``|I_{x1} ∩ I_{x2}|`` for every (multiplier row, pair term).
+
+        With ``d = (a·(x1 − x2)) mod p`` the two intervals, shifted so
+        the first starts at 0, are ``[0, t1)`` and ``[d, d+t2) mod p``;
+        the overlap is the clamped head segment plus the clamped
+        wrap-around segment.  Every quantity is below ``2^62`` for a
+        supported modulus, so int64 is exact.
+        """
+        np = self._np
+        p = self.p
+        d = (a_column * flat["pdx"]) % p
+        t1 = flat["pt1"]
+        t2 = flat["pt2"]
+        head = np.maximum(0, np.minimum(t1, d + t2) - d)
+        wrap = np.maximum(0, np.minimum(t1, d + t2 - p))
+        return head + wrap
+
+    def _arcs_for(self, a: int):
+        """Every term's b-interval(s) under ``a`` as flat arc arrays.
+
+        Returns ``(starts, lengths, weights)`` — one arc per vertex term
+        and two (possibly empty) arcs per pair term, the array analogue
+        of :meth:`_prepared_terms`.  Cached per ``(p, a)`` exactly like
+        the segment cache; term addition invalidates.
+        """
+        key = (self.p, a)
+        if self._arc_cache_key != key:
+            flat = self._flat_terms_arrays()
+            np = self._np
+            p = self.p
+            sv = (-a * flat["vx"]) % p
+            s1 = (-a * flat["px1"]) % p
+            d = (a * flat["pdx"]) % p
+            t1 = flat["pt1"]
+            t2 = flat["pt2"]
+            head_len = np.maximum(0, np.minimum(t1, d + t2) - d)
+            wrap_len = np.maximum(0, np.minimum(t1, d + t2 - p))
+            starts = np.concatenate((sv, (s1 + d) % p, s1))
+            lengths = np.concatenate((flat["vt"], head_len, wrap_len))
+            weights = np.concatenate((flat["vw"], flat["pw"], flat["pw"]))
+            self._arc_cache_key = key
+            self._arc_cache = (starts, lengths, weights)
+        return self._arc_cache
+
+    # ------------------------------------------------------------------
     # Exact analysis
     # ------------------------------------------------------------------
     def value(self, seed: Seed) -> int:
@@ -148,6 +318,24 @@ class ThresholdEstimator:
         >>> est.value(Seed(1, 0, 7))   # h(3) = 3 < 4
         5
         """
+        flat = self._flat_terms_arrays()
+        if flat is not None:
+            np = self._np
+            p = self.p
+            a, b = seed.a, seed.b
+            v_hit = ((a * flat["vx"] + b) % p) < flat["vt"]
+            p_hit = (((a * flat["px1"] + b) % p) < flat["pt1"]) & (
+                ((a * flat["px2"] + b) % p) < flat["pt2"]
+            )
+            count = self.num_terms
+            bound = self._max_abs_weight * count
+            if bound <= _INT64_MAX:
+                return int(flat["vw"][v_hit].sum()) + int(
+                    flat["pw"][p_hit].sum()
+                )
+            return sum(flat["vw"][v_hit].tolist()) + sum(
+                flat["pw"][p_hit].tolist()
+            )
         total = 0
         for term in self.vertex_terms:
             if seed.hash(term.x) < term.threshold:
@@ -179,7 +367,8 @@ class ThresholdEstimator:
         (the offset-fixing stage only ever asks about the chosen one), so
         memory stays O(terms).
         """
-        if self._a_cache_key != a:
+        key = (self.p, a)
+        if self._a_cache_key != key:
             terms: List[Tuple[int, List[Tuple[int, int]]]] = []
             for term in self.vertex_terms:
                 terms.append(
@@ -198,7 +387,7 @@ class ThresholdEstimator:
                         ),
                     )
                 )
-            self._a_cache_key = a
+            self._a_cache_key = key
             self._a_cache_terms = terms
         return self._a_cache_terms
 
@@ -209,6 +398,12 @@ class ThresholdEstimator:
         conditional probability given ``a`` is ``T/p`` regardless of
         ``a``); only pair overlaps depend on the multiplier.
         """
+        flat = self._flat_terms_arrays()
+        if flat is not None:
+            overlap = self._pair_overlap_matrix(flat, a)
+            return self._vertex_weighted_thresholds + self._sum_exact(
+                flat["pw"], overlap, len(self.pair_terms)
+            )
         total = self._vertex_weighted_thresholds
         for term in self.pair_terms:
             overlap = segments_length(
@@ -220,6 +415,28 @@ class ThresholdEstimator:
             total += term.weight * overlap
         return total
 
+    def cond_a_x_p_many(self, multipliers: Sequence[int]) -> List[int]:
+        """``cond_a_x_p`` for a batch of multipliers at once.
+
+        The numpy kernel evaluates the whole (multipliers × pair-terms)
+        overlap matrix in one expression; the reference kernel loops —
+        the results are identical by contract, so callers batch freely.
+        """
+        multipliers = list(multipliers)
+        flat = self._flat_terms_arrays()
+        if flat is not None and multipliers:
+            np = self._np
+            a_col = np.fromiter(
+                multipliers, dtype=np.int64, count=len(multipliers)
+            ).reshape(-1, 1)
+            overlap = self._pair_overlap_matrix(flat, a_col)
+            pair_sums = self._sum_exact_rows(
+                flat["pw"], overlap, len(self.pair_terms)
+            )
+            base = self._vertex_weighted_thresholds
+            return [base + s for s in pair_sums]
+        return [self.cond_a_x_p(a) for a in multipliers]
+
     def cond_ab_range(self, a: int, b_lo: int, b_hi: int) -> int:
         """Return ``sum_terms w * |I_term ∩ [b_lo, b_hi)|``.
 
@@ -230,10 +447,57 @@ class ThresholdEstimator:
             raise DerandomizationError(
                 f"range [{b_lo}, {b_hi}) must lie within [0, {self.p}]"
             )
+        if self._flat_terms_arrays() is not None:
+            return self.cond_ab_range_many(a, [(b_lo, b_hi)])[0]
         total = 0
         for weight, segments in self._prepared_terms(a):
             total += weight * segments_overlap_range(segments, b_lo, b_hi)
         return total
+
+    def cond_ab_range_many(
+        self, a: int, ranges: Sequence[Tuple[int, int]]
+    ) -> List[int]:
+        """``cond_ab_range`` for a batch of ranges under one multiplier.
+
+        This is the offset-fixing stage's shape: ``2^c`` candidate
+        ranges per chunk, all under the already-committed ``a``.  The
+        numpy kernel reuses the per-multiplier arc arrays across every
+        range (mirroring the reference kernel's segment cache) and
+        clamps all (ranges × arcs) overlaps in one expression.
+        """
+        for b_lo, b_hi in ranges:
+            if not 0 <= b_lo <= b_hi <= self.p:
+                raise DerandomizationError(
+                    f"range [{b_lo}, {b_hi}) must lie within [0, {self.p}]"
+                )
+        flat = self._flat_terms_arrays()
+        if flat is None or not ranges:
+            # Degenerate ranges are 0 by definition; skip the term scan.
+            return [
+                self.cond_ab_range(a, b_lo, b_hi) if b_lo < b_hi else 0
+                for b_lo, b_hi in ranges
+            ]
+        np = self._np
+        p = self.p
+        starts, lengths, weights = self._arcs_for(a)
+        lo = np.fromiter(
+            (r[0] for r in ranges), dtype=np.int64, count=len(ranges)
+        ).reshape(-1, 1)
+        hi = np.fromiter(
+            (r[1] for r in ranges), dtype=np.int64, count=len(ranges)
+        ).reshape(-1, 1)
+        # Arc (s, L) splits into head [s, min(s+L, p)) and, when it
+        # wraps, tail [0, s+L-p); clamp both against [lo, hi).
+        head_end = np.minimum(starts + lengths, p)
+        head = np.maximum(
+            0, np.minimum(hi, head_end) - np.maximum(lo, starts)
+        )
+        tail = np.maximum(0, np.minimum(hi, starts + lengths - p) - lo)
+        # Each pair term contributes two arcs, so the weighted-sum bound
+        # uses the arc count.
+        return self._sum_exact_rows(
+            weights, head + tail, int(starts.shape[0])
+        )
 
     # ------------------------------------------------------------------
     # Serialization (for distributed term storage on machines)
@@ -253,9 +517,10 @@ class ThresholdEstimator:
         p: int,
         vertex_terms: Iterable[Sequence[int]],
         pair_terms: Iterable[Sequence[int]],
+        kernel: str = KERNEL_PYTHON,
     ) -> "ThresholdEstimator":
         """Rebuild an estimator from :meth:`to_flat_terms` output."""
-        est = cls(p)
+        est = cls(p, kernel=kernel)
         for x, threshold, weight in vertex_terms:
             est.add_vertex_term(x, threshold, weight)
         for x1, t1, x2, t2, weight in pair_terms:

@@ -34,6 +34,7 @@ from repro.derand.estimator import ThresholdEstimator
 from repro.derand.family import AffineFamily, Seed
 from repro.errors import DerandomizationError
 from repro.mpc.machine import Machine
+from repro.mpc.state_layout import KERNEL_PYTHON
 from repro.mpc.primitives.aggregate import reduce_vector
 from repro.mpc.primitives.broadcast import broadcast_value
 from repro.mpc.simulator import Simulator
@@ -48,17 +49,24 @@ class SeedScanStats:
     accepted_index: int
 
 
-def flat_term_estimator(p: int, vkey: str, pkey: str) -> "EstimatorBuilder":
+def flat_term_estimator(
+    p: int, vkey: str, pkey: str, kernel: str = KERNEL_PYTHON
+) -> "EstimatorBuilder":
     """Builder reading flat terms ``(x, T, w)`` / ``(x1, T1, x2, T2, w)``.
 
     The generic storage layout; algorithms with redundancy in their terms
     (e.g. Luby, whose pair weights equal the vertex weights) can pass a
     custom builder with a more compact on-machine layout instead.
+    ``kernel`` selects the estimator's evaluation backend (see
+    :mod:`repro.mpc.state_layout`).
     """
 
     def build(machine: Machine) -> ThresholdEstimator:
         return ThresholdEstimator.from_flat_terms(
-            p, machine.store.get(vkey, ()), machine.store.get(pkey, ())
+            p,
+            machine.store.get(vkey, ()),
+            machine.store.get(pkey, ()),
+            kernel=kernel,
         )
 
     return build
@@ -158,8 +166,10 @@ def distributed_choose_seed(
         batches += 1
 
         def score_multipliers(m: Machine) -> Tuple[int, ...]:
-            est = local_estimator(m)
-            return tuple(est.cond_a_x_p(a) for a in candidates)
+            # One batched call: the numpy kernel scores the whole batch
+            # in a single overlap-matrix expression; the python kernel
+            # loops — identical results either way.
+            return tuple(local_estimator(m).cond_a_x_p_many(candidates))
 
         sums = reduce_vector(
             sim, score_multipliers, _tuple_sum, width=len(candidates)
@@ -194,10 +204,10 @@ def distributed_choose_seed(
             ranges.append((r_lo, r_hi))
 
         def score_ranges(m: Machine) -> Tuple[int, ...]:
-            est = local_estimator(m)
+            # Batched under the committed multiplier; degenerate ranges
+            # (clipped to zero width above p) score 0 in both kernels.
             return tuple(
-                est.cond_ab_range(chosen_a, r_lo, r_hi) if r_hi > r_lo else 0
-                for r_lo, r_hi in ranges
+                local_estimator(m).cond_ab_range_many(chosen_a, ranges)
             )
 
         sums = reduce_vector(

@@ -71,6 +71,13 @@ class MPCConfig:
     traced run is bit-identical to an untraced one.
     ``trace_warn_utilization`` is the fraction of ``S`` at which the
     budget auditor starts warning (before the hard violation fault).
+
+    ``kernel`` selects the *compute* kernel for machine-local hot loops
+    (``"python"`` reference or ``"numpy"`` vectorized; see
+    :mod:`repro.mpc.state_layout`).  ``None`` defers to the
+    ``REPRO_KERNEL`` environment variable, then the reference kernel.
+    Like ``backend``, this is an execution strategy, never semantics:
+    both kernels are bit-identical by contract.
     """
 
     num_machines: int
@@ -81,6 +88,7 @@ class MPCConfig:
     backend_workers: int = 0
     trace: bool = False
     trace_warn_utilization: float = 0.9
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -100,12 +108,26 @@ class MPCConfig:
                 "trace_warn_utilization must lie in (0, 1], got "
                 f"{self.trace_warn_utilization}"
             )
+        if self.kernel is not None:
+            from repro.mpc.state_layout import KERNELS
+
+            if self.kernel not in KERNELS:
+                raise MPCConfigError(
+                    f"unknown kernel {self.kernel!r}; expected one of "
+                    f"{KERNELS} (or None for the environment default)"
+                )
 
     def with_backend(self, backend: str, workers: int = 0) -> "MPCConfig":
         """Copy of this config running on a different execution backend."""
         from dataclasses import replace
 
         return replace(self, backend=backend, backend_workers=workers)
+
+    def with_kernel(self, kernel: Optional[str]) -> "MPCConfig":
+        """Copy of this config using a different compute kernel."""
+        from dataclasses import replace
+
+        return replace(self, kernel=kernel)
 
     def with_trace(
         self, enabled: bool = True, warn_utilization: Optional[float] = None
