@@ -1,0 +1,135 @@
+"""E14: out-of-core scale — the shard backend on streamed inputs.
+
+Every other experiment materializes its graph in the driver and keeps
+all ``k`` simulated machines resident, so the largest single-process run
+in the suite tops out at E1's n=2048.  E14 exercises the full
+out-of-core path instead: the workload is *written straight to disk*
+line by line (no ``Graph`` object ever exists), ingest shards it per
+machine while reading (:func:`repro.graph.stream.shard_edge_list`), and
+the solve executes on :class:`~repro.mpc.shard.ShardBackend` with one
+machine shard resident at a time.
+
+The workload is a deterministic circulant: the n-cycle plus stride
+chords — sparse, connected, bounded degree ``2(1 + #strides)``, and
+generated edge-by-edge with exact ``n``/``m`` known up front, so sizes
+scale freely without a generator ever holding the edge set.
+
+Quantities of record:
+
+* ``rounds`` / ``size`` / ``total_words`` — model quantities, identical
+  to an in-memory serial run under the same owner map (the shard-parity
+  contract);
+* ``resident_words`` — the backend's high-water mark of *actually
+  resident* machine state, versus ``footprint_words``, the same run's
+  all-shards total: their ratio is the memory the driver never had to
+  hold.  This is the E14 acceptance quantity — resident stays ~flat per
+  shard as n grows.
+
+The default table runs n ∈ {512, 1024, 2048}; set ``REPRO_E14_FULL=1``
+to append the n=20480 row (10× E1's largest single-process run, the
+acceptance-criterion scale; several minutes of simulator time).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from benchmarks.bench_common import emit
+from repro.core.pipeline import solve_ruling_set_stream
+from repro.core.registry import DET_RULING
+
+SIZES = [512, 1024, 2048]
+FULL_SIZE = 20480
+STRIDES = (5,)
+FULL_ENV = "REPRO_E14_FULL"
+
+
+def write_streamed_workload(
+    path, n: int, strides: Sequence[int] = STRIDES
+) -> int:
+    """Write the circulant C_n(1, *strides*) edge list without a Graph.
+
+    Each stride ``s`` must satisfy ``1 < s < n/2`` so every chord class
+    contributes exactly ``n`` distinct edges; with the cycle that makes
+    ``m = n * (1 + len(strides))``, known before a single line is
+    written.  Returns ``m``.
+    """
+    for s in strides:
+        if not 1 < s < n / 2:
+            raise ValueError(f"stride {s} must satisfy 1 < s < n/2 = {n / 2}")
+    m = n * (1 + len(strides))
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{n} {m}\n")
+        for v in range(n):
+            for s in (1,) + tuple(strides):
+                u = (v + s) % n
+                lo, hi = (v, u) if v < u else (u, v)
+                handle.write(f"{lo} {hi}\n")
+    return m
+
+
+def run_cell(n: int, num_shards: int = 0) -> dict:
+    """One streamed solve; returns the E14 row."""
+    with tempfile.TemporaryDirectory(prefix="e14-") as tmp:
+        path = Path(tmp) / f"circulant_{n}.txt"
+        m = write_streamed_workload(path, n)
+        result = solve_ruling_set_stream(
+            path, algorithm=DET_RULING, num_shards=num_shards
+        )
+    resident = result.metrics["shard_max_resident_words"]
+    return {
+        "n": n,
+        "m": m,
+        "machines": result.metrics["num_machines"],
+        "S": result.metrics["memory_words"],
+        "rounds": result.rounds,
+        "size": result.size,
+        "total_words": result.metrics["total_words"],
+        "resident_words": resident,
+        "shards": result.metrics["shard_num_shards"],
+    }
+
+
+def format_table(rows) -> str:
+    header = (
+        f"{'n':>7} {'m':>8} {'k':>5} {'S':>7} {'rounds':>7} {'size':>7} "
+        f"{'total_words':>12} {'resident_words':>15} {'shards':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['n']:>7} {row['m']:>8} {row['machines']:>5} "
+            f"{row['S']:>7} {row['rounds']:>7} {row['size']:>7} "
+            f"{row['total_words']:>12} {row['resident_words']:>15} "
+            f"{row['shards']:>7}"
+        )
+    lines.append(
+        "\nresident_words is the driver's high-water mark of loaded "
+        "machine state\n(one shard at a time); the other k-1 shards "
+        "live in spill files."
+    )
+    return "\n".join(lines)
+
+
+def run_experiment() -> str:
+    sizes = list(SIZES)
+    if os.environ.get(FULL_ENV):
+        sizes.append(FULL_SIZE)
+    rows = [run_cell(n) for n in sizes]
+    return format_table(rows)
+
+
+def test_e14_shard_scale(benchmark):
+    """Small-n representative cell + the scaling table."""
+    row = benchmark.pedantic(
+        lambda: run_cell(512), iterations=1, rounds=1
+    )
+    assert row["size"] > 0
+    emit("e14_shard_scale", run_experiment())
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,8 +1,9 @@
 """CI benchmark-regression gate.
 
 Runs a small fixed set of cells — the E1 smallest row, an E10-style
-chunk ablation at n ≤ 512, the E12 service round-trip, and the E13
-kernel head-to-head — and compares them against the checked-in baseline
+chunk ablation at n ≤ 512, the E12 service round-trip, the E13 kernel
+head-to-head, and the E14 streamed out-of-core solve — and compares
+them against the checked-in baseline
 ``benchmarks/results/ci_baseline.json``:
 
 * **model quantities** (rounds, words, sizes) must match the baseline
@@ -151,6 +152,36 @@ def run_e12_service() -> Measurement:
     return exact, wall
 
 
+def run_e14_shard() -> Measurement:
+    """E14's smallest streamed cell: out-of-core solve on a circulant.
+
+    The workload is written straight to disk and solved through the full
+    shard pipeline (two-pass ingest + ShardBackend), so this cell gates
+    the out-of-core path end to end.  Everything here is exact: the model
+    quantities by the shard-parity contract, the ingest checksum because
+    the workload generator is deterministic, and the residency high-water
+    mark because exchange/spill scheduling is itself deterministic.
+    """
+    import tempfile
+
+    from benchmarks.bench_e14_shard_scale import write_streamed_workload
+    from repro.core.pipeline import solve_ruling_set_stream
+
+    with tempfile.TemporaryDirectory(prefix="ci-e14-") as tmp:
+        path = Path(tmp) / "circulant.txt"
+        m = write_streamed_workload(path, 256)
+        result = solve_ruling_set_stream(path, algorithm=DET_RULING)
+    exact = {
+        "rounds": result.rounds,
+        "total_words": result.metrics["total_words"],
+        "size": result.size,
+        "ingest_edges": m,
+        "ingest_checksum": result.metrics["ingest_checksum"],
+        "resident_words": result.metrics["shard_max_resident_words"],
+    }
+    return exact, result.wall_time_s
+
+
 def run_e13_kernel() -> Measurement:
     """E13's kernel head-to-head on the E10 hot cell's workload.
 
@@ -171,6 +202,7 @@ CELLS = {
     "e10_chunk4_n256": partial(run_e10_chunk, 4),
     "e12_service_roundtrip": run_e12_service,
     "e13_kernel_speedup": run_e13_kernel,
+    "e14_shard_scale": run_e14_shard,
 }
 
 

@@ -32,7 +32,7 @@ from typing import List, Optional
 from repro.analysis.sweep import SweepSpec, failures, run_sweep
 from repro.analysis.tables import format_table
 from repro.core import registry
-from repro.core.pipeline import solve_ruling_set
+from repro.core.pipeline import solve_ruling_set, solve_ruling_set_stream
 from repro.core.verify import verify_ruling_set
 from repro.errors import ReproError
 from repro.graph import generators as gen
@@ -106,6 +106,8 @@ def cmd_generate(args) -> int:
 
 
 def cmd_solve(args) -> int:
+    if getattr(args, "stream", False):
+        return _cmd_solve_stream(args)
     graph = _load_or_build(args)
     trace_out = getattr(args, "trace_out", None)
     result = solve_ruling_set(
@@ -154,6 +156,45 @@ def cmd_solve(args) -> int:
         print(f"wall clock: {result.wall_time_s:.3f}s (simulator, not cluster)")
         for phase in sorted(result.time_per_phase):
             print(f"  time[{phase}] = {result.time_per_phase[phase]:.3f}s")
+    return 0
+
+
+def _cmd_solve_stream(args) -> int:
+    if not args.input:
+        raise ReproError("--stream requires --input (an edge-list file)")
+    if args.alpha != 2:
+        raise ReproError(
+            "--stream fixes alpha at 2 (alpha > 2 sizes on a "
+            "driver-materialized power graph, which contradicts streaming)"
+        )
+    result = solve_ruling_set_stream(
+        args.input,
+        algorithm=args.algorithm,
+        beta=args.beta,
+        regime=args.regime,
+        seed=args.seed,
+        verify=args.stream_verify,
+        num_shards=args.workers,
+        kernel=args.kernel,
+    )
+    if args.json:
+        payload = result.summary_row()
+        payload["members"] = result.members
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"input:      {args.input} (streamed)")
+    print(
+        f"ingest:     m={result.metrics['ingest_edges']} "
+        f"max_degree={result.metrics['ingest_max_degree']}"
+    )
+    print(f"algorithm:  {result.algorithm}")
+    print(f"guarantee:  ({result.alpha}, {result.beta})-ruling set")
+    print(f"size:       {result.size}")
+    print(f"rounds:     {result.rounds}")
+    for key in sorted(result.metrics):
+        print(f"  {key} = {result.metrics[key]}")
+    if result.wall_time_s:
+        print(f"wall clock: {result.wall_time_s:.3f}s (simulator, not cluster)")
     return 0
 
 
@@ -437,13 +478,17 @@ def make_parser() -> argparse.ArgumentParser:
             choices=("sublinear", "near-linear", "single"),
         )
         parser.add_argument(
-            "--backend", default=None, choices=("serial", "process"),
+            "--backend", default=None,
+            choices=("serial", "process", "shard"),
             help="superstep execution backend (results are bit-identical; "
-            "'process' fans machine callbacks across worker processes)",
+            "'process' fans machine callbacks across worker processes; "
+            "'shard' spills machine state to disk and keeps one shard "
+            "resident — graphs bigger than RAM)",
         )
         parser.add_argument(
             "--workers", type=int, default=0,
-            help="process-pool size for --backend process (0 = one per CPU)",
+            help="process-pool size for --backend process (0 = one per "
+            "CPU); shard count for --backend shard (0 = default)",
         )
         parser.add_argument(
             "--kernel", default=None, choices=("python", "numpy"),
@@ -459,6 +504,20 @@ def make_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--trace-out", default=None,
         help="enable the superstep trace and write its JSONL here",
+    )
+    p_solve.add_argument(
+        "--stream", action="store_true",
+        help="solve --input out-of-core: two-pass streaming ingest "
+        "shards the file per machine and the run executes on the shard "
+        "backend — no process ever holds the whole graph (requires "
+        "--input; alpha is fixed at 2; verification is skipped unless "
+        "--stream-verify)",
+    )
+    p_solve.add_argument(
+        "--stream-verify", action="store_true",
+        help="with --stream: verify against the sequential oracle by "
+        "re-reading the file in memory (debug aid — reintroduces the "
+        "O(n + m) footprint streaming avoids)",
     )
     p_solve.add_argument("--json", action="store_true")
     p_solve.set_defaults(func=cmd_solve)
@@ -493,12 +552,14 @@ def make_parser() -> argparse.ArgumentParser:
         + " (default: picked from --randomized)",
     )
     p_match.add_argument(
-        "--backend", default=None, choices=("serial", "process"),
+        "--backend", default=None,
+        choices=("serial", "process", "shard"),
         help="superstep execution backend (results are bit-identical)",
     )
     p_match.add_argument(
         "--workers", type=int, default=0,
-        help="process-pool size for --backend process (0 = one per CPU)",
+        help="process-pool size for --backend process (0 = one per "
+        "CPU); shard count for --backend shard (0 = default)",
     )
     p_match.add_argument(
         "--kernel", default=None, choices=("python", "numpy"),

@@ -195,7 +195,7 @@ def det_luby_mis(
 
         sim.local(absorb_isolated)
         counters["isolated_joins"] += sum(
-            m.store.pop("_luby_isolated") for m in sim.machines
+            sim.harvest(lambda m: m.store.pop("_luby_isolated"))
         )
         max_deg = dg.max_active_degree(adj_key)
         if max_deg == 0:
@@ -274,7 +274,9 @@ def det_luby_mis(
             machine.store["_luby_progress"] = len(winners | hit)
 
         sim.local(removal_set)
-        progress = sum(m.store.pop("_luby_progress") for m in sim.machines)
+        progress = sum(
+            sim.harvest(lambda m: m.store.pop("_luby_progress"))
+        )
         if progress == 0:
             stalls += 1
             if stalls > allow_stalls:

@@ -132,8 +132,8 @@ def build_distributed_line_graph(dg: DistributedGraph) -> DistributedGraph:
 
     # --- edge-id owner map: contiguous ranges by construction ----------
     bounds = [0]
-    for machine in sim.machines:
-        bounds.append(bounds[-1] + len(machine.store[EDGE_TABLE]))
+    for count in sim.harvest(lambda m: len(m.store[EDGE_TABLE])):
+        bounds.append(bounds[-1] + count)
     line_owner = RangeOwnerMap(tuple(bounds))
 
     # --- endpoints learn their incident edges (1 round) ----------------
@@ -220,8 +220,8 @@ def det_maximal_matching(
 
     dg.sim.local(record_matches)
     matching: List[Tuple[int, int]] = []
-    for machine in dg.sim.machines:
-        matching.extend(machine.store[MATCHED])
+    for chunk in dg.sim.harvest(lambda m: m.store[MATCHED]):
+        matching.extend(chunk)
     return sorted(matching), counters
 
 

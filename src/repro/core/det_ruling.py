@@ -52,6 +52,7 @@ from repro.mpc.message import Message
 from repro.mpc.primitives.aggregate import reduce_scalar
 from repro.mpc.state_layout import (
     KERNEL_NUMPY,
+    BoundedCache,
     MachineCSR,
     kernel_of,
     numpy_or_none,
@@ -86,8 +87,10 @@ def scanning_chooser(batch: int = 32, max_batches: int = 512) -> SamplingChooser
         )
         # The adjacency layer is immutable for the duration of one scan,
         # so each machine's CSR view is built once and reused across
-        # every candidate seed in every batch.
-        csr_cache: Dict[int, MachineCSR] = {}
+        # every candidate seed in every batch — bounded to the backend's
+        # resident-machine count so an out-of-core run never accumulates
+        # CSR views for machines whose state is spilled.
+        csr_cache = BoundedCache(dg.sim.backend.resident_machines_hint())
 
         def local_stats(machine: Machine, seed: Seed) -> Tuple[int, int]:
             adj = machine.store[adj_key]
@@ -95,7 +98,7 @@ def scanning_chooser(batch: int = 32, max_batches: int = 512) -> SamplingChooser
                 csr = csr_cache.get(machine.mid)
                 if csr is None:
                     csr = MachineCSR.from_adjacency(adj, np_mod)
-                    csr_cache[machine.mid] = csr
+                    csr_cache.put(machine.mid, csr)
                 sampled = int((csr.hash_ids(seed) < threshold).sum())
                 covered = csr.row_any(csr.hash_indices(seed) < threshold)
                 uncovered_high = int(
@@ -248,7 +251,7 @@ def _removal_wave(
 
     sim.local(finalize)
     removed_total = sum(
-        m.store.pop("_rs_removed_count") for m in sim.machines
+        sim.harvest(lambda m: m.store.pop("_rs_removed_count"))
     )
     dg.deactivate("_rs_removed", adj_key=ADJ)
     return removed_total
@@ -448,7 +451,7 @@ def _merge_members(sim, in_set_key: str) -> int:
         machine.store[ITER_MEMBERS] = set()
 
     sim.local(merge)
-    return sum(m.store.pop("_rs_merged") for m in sim.machines)
+    return sum(sim.harvest(lambda m: m.store.pop("_rs_merged")))
 
 
 def _cleanup_levels(sim, level_keys: List[str]) -> None:

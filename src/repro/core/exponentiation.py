@@ -13,11 +13,24 @@ Exactness: merging radius-``r`` balls of radius-``r`` ball members yields
 exactly ``B(v, 2r)``, so doubling is exact for powers of two; arbitrary
 radii are reached by doubling to the largest power of two below the
 target and finishing with single-hop expansions.
+
+Batched growth (``batch_vertices``): unbatched ball-growing concentrates
+every vertex's ball traffic in the same round, which is exactly how α>2
+exponentiation blows the per-round budget on large inputs.  Batching
+splits each growth step into contiguous global-id windows — only the
+window's vertices request/push per pass — with all responses served from
+a *frozen pre-step snapshot* of the balls, so later windows never see
+earlier windows' already-grown balls and the final balls are identical
+bit-for-bit to the unbatched step.  Cost: more rounds and a transient
+second copy of the balls; gain: per-round ``max_sent``/``max_received``
+shrink by roughly the window fraction.  The default stays unbatched —
+budget-faulting on oversized unbatched growth is itself the model-honest
+behaviour E8 relies on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import AlgorithmError
 from repro.mpc.graph_store import ADJ, DistributedGraph
@@ -26,23 +39,68 @@ from repro.mpc.message import Message
 
 BALLS = "exp_balls"
 
+_SNAPSHOT = "_exp_snapshot"
+
+
+def _batch_windows(
+    num_vertices: int, batch_vertices: Optional[int]
+) -> List[Optional[Tuple[int, int]]]:
+    """Contiguous global-id windows for batched ball growing.
+
+    ``None`` (the default) is the unbatched single window.  Windows are a
+    pure function of ``(n, batch_vertices)``, so every machine agrees on
+    the schedule without coordination and the run stays deterministic.
+    """
+    if batch_vertices is None:
+        return [None]
+    if batch_vertices < 1:
+        raise AlgorithmError(
+            f"batch_vertices must be >= 1, got {batch_vertices}"
+        )
+    if num_vertices == 0:
+        return [None]
+    return [
+        (lo, min(lo + batch_vertices, num_vertices))
+        for lo in range(0, num_vertices, batch_vertices)
+    ]
+
+
+def _freeze(sim, balls_key: str) -> None:
+    """Snapshot the balls so batched windows all read pre-step state."""
+
+    def snap(machine: Machine) -> None:
+        machine.store[_SNAPSHOT] = dict(machine.store[balls_key])
+
+    sim.local(snap)
+
+
+def _thaw(sim) -> None:
+    def drop(machine: Machine) -> None:
+        machine.store.pop(_SNAPSHOT, None)
+
+    sim.local(drop)
+
 
 def grow_balls(
     dg: DistributedGraph,
     radius: int,
     balls_key: str = BALLS,
     adj_key: str = ADJ,
+    batch_vertices: Optional[int] = None,
 ) -> int:
     """Compute exactly ``B(v, radius)`` for every active vertex.
 
     Afterwards ``store[balls_key]`` maps each owned active vertex to the
     sorted tuple of vertices within ``radius`` hops (inclusive of ``v``).
     Returns the number of doubling steps used; total cost is
-    ``2 * doublings + (radius - 2^doublings)`` rounds.
+    ``2 * doublings + (radius - 2^doublings)`` rounds, multiplied by the
+    window count when ``batch_vertices`` is set (see module docstring).
     """
     if radius < 1:
         raise AlgorithmError(f"radius must be >= 1, got {radius}")
     sim = dg.sim
+    windows = _batch_windows(dg.num_vertices, batch_vertices)
+    batched = windows != [None]
 
     def init_balls(machine: Machine) -> None:
         adj = machine.store[adj_key]
@@ -54,11 +112,23 @@ def grow_balls(
     reach = 1
     doublings = 0
     while 2 * reach <= radius:
-        _double(dg, balls_key)
+        if batched:
+            _freeze(sim, balls_key)
+            for window in windows:
+                _double(dg, balls_key, _SNAPSHOT, window)
+            _thaw(sim)
+        else:
+            _double(dg, balls_key, balls_key, None)
         reach *= 2
         doublings += 1
     while reach < radius:
-        _expand_one(dg, balls_key, adj_key)
+        if batched:
+            _freeze(sim, balls_key)
+            for window in windows:
+                _expand_one(dg, balls_key, _SNAPSHOT, adj_key, window)
+            _thaw(sim)
+        else:
+            _expand_one(dg, balls_key, balls_key, adj_key, None)
         reach += 1
     return doublings
 
@@ -69,9 +139,16 @@ def power_graph_adjacency(
     out_adj_key: str,
     adj_key: str = ADJ,
     balls_key: str = BALLS,
+    batch_vertices: Optional[int] = None,
 ) -> None:
     """Materialise exact ``G^radius`` adjacency under ``out_adj_key``."""
-    grow_balls(dg, radius, balls_key=balls_key, adj_key=adj_key)
+    grow_balls(
+        dg,
+        radius,
+        balls_key=balls_key,
+        adj_key=adj_key,
+        batch_vertices=batch_vertices,
+    )
 
     def build(machine: Machine) -> None:
         balls = machine.store[balls_key]
@@ -82,15 +159,31 @@ def power_graph_adjacency(
     dg.sim.local(build)
 
 
-def _double(dg: DistributedGraph, balls_key: str) -> None:
-    """One doubling: ``B(v, 2r) = union of B(u, r) over u in B(v, r)``."""
+def _in_window(v: int, window: Optional[Tuple[int, int]]) -> bool:
+    return window is None or window[0] <= v < window[1]
+
+
+def _double(
+    dg: DistributedGraph,
+    balls_key: str,
+    source_key: str,
+    window: Optional[Tuple[int, int]],
+) -> None:
+    """One doubling: ``B(v, 2r) = union of B(u, r) over u in B(v, r)``.
+
+    ``source_key`` is where responders read balls from — the live balls
+    when unbatched, the frozen pre-step snapshot when batched, so every
+    window's unions combine radius-``r`` balls only.
+    """
     sim = dg.sim
 
-    # Round 1: each vertex requests the ball of every ball member.
+    # Round 1: each (windowed) vertex requests the ball of every member.
     def request(machine: Machine) -> List[Message]:
-        balls = machine.store[balls_key]
+        balls = machine.store[source_key]
         out = []
         for v, ball in balls.items():
+            if not _in_window(v, window):
+                continue
             for u in ball:
                 if u != v:
                     out.append(Message(dg.owner_of(u), (u, v)))
@@ -98,9 +191,9 @@ def _double(dg: DistributedGraph, balls_key: str) -> None:
 
     sim.communicate(request)
 
-    # Round 2: owners answer with the requested balls.
+    # Round 2: owners answer with the requested (pre-step) balls.
     def respond(machine: Machine) -> List[Message]:
-        balls = machine.store[balls_key]
+        balls = machine.store[source_key]
         requests: Dict[int, List[int]] = {}
         for u, v in machine.inbox:
             requests.setdefault(u, []).append(v)
@@ -132,16 +225,27 @@ def _double(dg: DistributedGraph, balls_key: str) -> None:
 
 
 def _expand_one(
-    dg: DistributedGraph, balls_key: str, adj_key: str
+    dg: DistributedGraph,
+    balls_key: str,
+    source_key: str,
+    adj_key: str,
+    window: Optional[Tuple[int, int]],
 ) -> None:
-    """Grow every ball by one hop (one push round + local union)."""
+    """Grow every (windowed) ball by one hop (one push round + union).
+
+    Senders push their ``source_key`` ball — the frozen pre-step copy
+    when batched — so a ball grown by an earlier window is never pushed
+    onward within the same step.
+    """
     sim = dg.sim
 
     def send(machine: Machine) -> List[Message]:
         adj = machine.store[adj_key]
-        balls = machine.store[balls_key]
+        balls = machine.store[source_key]
         out = []
         for v, ball in balls.items():
+            if not _in_window(v, window):
+                continue
             for u in adj[v]:
                 out.append(Message(dg.owner_of(u), (u,) + ball))
         return out

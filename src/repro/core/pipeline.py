@@ -17,7 +17,7 @@ CLI, sweeps, and benches) automatically.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core import registry
 from repro.core.registry import (
@@ -26,7 +26,13 @@ from repro.core.registry import (
     RULING_SET,
     SEQUENTIAL_FAMILY,
 )
-from repro.core.session import SessionFactory, SolverSession, make_config
+from repro.core.session import (
+    SessionFactory,
+    SessionStats,
+    SolverSession,
+    make_config,
+    make_config_from_stats,
+)
 from repro.core.spec import RulingSetResult
 from repro.core.verify import verify_ruling_set
 from repro.errors import AlgorithmError
@@ -39,6 +45,7 @@ __all__ = [
     "LOCAL_ALGORITHMS",
     "make_config",
     "solve_ruling_set",
+    "solve_ruling_set_stream",
 ]
 
 MPC_ALGORITHMS = registry.algorithm_names(
@@ -168,5 +175,143 @@ def solve_ruling_set(
     if verify:
         verify_ruling_set(
             graph, result.members, alpha=result.alpha, beta=result.beta
+        )
+    return result
+
+
+def solve_ruling_set_stream(
+    path,
+    algorithm: Optional[str] = None,
+    beta: int = 2,
+    regime: str = "sublinear",
+    alpha_mem: Tuple[int, int] = (2, 3),
+    seed: int = 0,
+    verify: bool = False,
+    num_shards: int = 0,
+    chunk_messages: int = 0,
+    spill_dir: Optional[str] = None,
+    kernel: Optional[str] = None,
+    in_set_key: str = "result_set",
+) -> RulingSetResult:
+    """Solve a ruling set on an edge-list *file*, out-of-core end to end.
+
+    The full shard pipeline: a pass-1 scan sizes the regime from
+    ``(n, m, Δ)`` alone (:func:`~repro.core.session.make_config_from_stats`),
+    pass-2 ingest shards the edges per machine while reading
+    (:func:`~repro.graph.stream.shard_edge_list`), and the run executes on
+    the :class:`~repro.mpc.shard.ShardBackend`, so *no process ever holds
+    the whole graph*: peak driver memory is O(one machine shard + spool
+    chunk).  Members and all model metrics are bit-identical to
+    :func:`solve_ruling_set` on the materialized graph under the same
+    ``ModOwnerMap`` — pinned by the ingest-parity tests and the
+    shard-parity CI gate.
+
+    ``algorithm`` must be an MPC-family ruling-set algorithm (the LOCAL
+    and sequential baselines need the whole graph by definition); α is
+    fixed at 2 — α > 2 sizes on a driver-materialized power graph, which
+    contradicts streaming.  ``verify=True`` is a debug aid that re-reads
+    the file *in memory* to run the sequential oracle, deliberately
+    defaulting off: it reintroduces exactly the O(n + m) footprint this
+    path exists to avoid.
+
+    ``num_shards`` / ``chunk_messages`` / ``spill_dir`` are the
+    :class:`~repro.mpc.shard.ShardBackend` knobs; ingest stats
+    (``ingest_edges``, ``ingest_max_degree``, ``ingest_checksum``) and
+    the backend's residency stats (``shard_max_resident_words`` …) land
+    in ``result.metrics``.
+    """
+    from repro.core.registry import RunContext
+    from repro.graph.io import read_edge_list
+    from repro.graph.stream import scan_edge_list_stats, shard_edge_list
+    from repro.mpc.graph_store import DistributedGraph
+    from repro.mpc.ownermap import ModOwnerMap
+    from repro.mpc.shard import ShardBackend
+    from repro.mpc.simulator import Simulator
+
+    if algorithm is None:
+        algorithm = registry.DET_RULING
+    spec = registry.get_algorithm(algorithm)
+    if spec.problem != RULING_SET or spec.family != MPC_FAMILY:
+        raise AlgorithmError(
+            f"streaming solve requires an MPC ruling-set algorithm, "
+            f"got {algorithm!r}; choose one of: "
+            + ", ".join(
+                registry.algorithm_names(
+                    family=MPC_FAMILY, problem=RULING_SET
+                )
+            )
+        )
+
+    stats = scan_edge_list_stats(path)
+    if stats.num_vertices == 0:
+        return RulingSetResult(
+            members=[], alpha=2, beta=beta, algorithm=algorithm
+        )
+    cfg = make_config_from_stats(
+        stats.num_vertices,
+        stats.declared_edges,
+        stats.max_degree,
+        regime,
+        alpha_mem,
+    )
+    if kernel is not None:
+        cfg = cfg.with_kernel(kernel)
+    cfg = cfg.with_backend("shard")
+    cfg.validate_input_size(
+        MPCConfig.input_words(stats.num_vertices, stats.declared_edges)
+    )
+
+    owner_map = ModOwnerMap(stats.num_vertices, cfg.num_machines)
+    backend = ShardBackend(
+        num_shards=num_shards,
+        chunk_messages=chunk_messages,
+        spill_dir=spill_dir,
+    )
+    with shard_edge_list(path, owner_map, spill_dir=spill_dir) as sharded:
+        with Simulator(cfg, backend=backend) as sim:
+            dg = DistributedGraph.load_sharded(sim, sharded)
+            ctx = RunContext(
+                graph=None, alpha=2, beta=beta, seed=seed, dg=dg, sim=sim,
+                in_set_key=in_set_key,
+            )
+            payload = spec.runner(ctx)
+            if payload.members is None:
+                payload.members = dg.collect_marked(in_set_key)
+            backend_stats = dict(backend.stats())
+        metrics: Dict[str, object] = dict(sim.metrics.summary())
+        metrics.update(
+            {f"alg_{key}": value for key, value in payload.counters.items()}
+        )
+        metrics["num_machines"] = cfg.num_machines
+        metrics["memory_words"] = cfg.memory_words
+        metrics["ingest_edges"] = sharded.num_edges
+        metrics["ingest_max_degree"] = sharded.max_degree
+        metrics["ingest_checksum"] = sharded.checksum
+        metrics.update(
+            {f"shard_{key}": value for key, value in backend_stats.items()}
+        )
+        metrics.update(payload.extra_metrics)
+    run_stats = SessionStats(
+        rounds=sim.metrics.rounds,
+        metrics=metrics,
+        phase_rounds=sim.metrics.phase_rounds(),
+        wall_time_s=round(sim.metrics.wall_time_s, 6),
+        time_per_phase={
+            phase: round(seconds, 6)
+            for phase, seconds in sim.metrics.time_per_phase.items()
+        },
+    )
+    result = RulingSetResult(
+        members=payload.members,
+        alpha=2,
+        beta=spec.claimed_beta(None, 2, beta),
+        algorithm=algorithm,
+        **run_stats.result_kwargs(),
+    )
+    if verify:
+        # Debug aid only: materializes the graph, defeating O(shard).
+        verify_ruling_set(
+            read_edge_list(path), result.members,
+            alpha=result.alpha, beta=result.beta,
         )
     return result

@@ -55,25 +55,51 @@ from repro.mpc.graph_store import DistributedGraph
 from repro.mpc.simulator import Simulator
 
 
+def make_config_from_stats(
+    num_vertices: int,
+    num_edges: int,
+    max_degree: int,
+    regime: str = "sublinear",
+    alpha: Tuple[int, int] = (2, 3),
+) -> MPCConfig:
+    """Build the :class:`MPCConfig` for a named regime from counts alone.
+
+    Sizing needs only ``(n, m, Δ)``, never the adjacency itself — which
+    is what lets the streaming path (:func:`repro.core.pipeline.
+    solve_ruling_set_stream`) size a run from a pass-1 file scan without
+    materializing the graph.  ``regime`` is ``"sublinear"``
+    (``S ≈ n^alpha``), ``"near-linear"``, or ``"single"``.
+    """
+    if regime == "sublinear":
+        return MPCConfig.sublinear(
+            num_vertices, num_edges, alpha[0], alpha[1], max_degree=max_degree
+        )
+    if regime == "near-linear":
+        return MPCConfig.near_linear(
+            num_vertices, num_edges, max_degree=max_degree
+        )
+    if regime == "single":
+        return MPCConfig.single_machine(num_vertices, num_edges)
+    raise AlgorithmError(f"unknown regime {regime!r}")
+
+
 def make_config(
     graph: Graph, regime: str = "sublinear", alpha: Tuple[int, int] = (2, 3)
 ) -> MPCConfig:
     """Build the :class:`MPCConfig` for a named regime.
 
-    ``regime`` is ``"sublinear"`` (``S ≈ n^alpha``), ``"near-linear"``,
-    or ``"single"``; pass an explicit :class:`MPCConfig` to the session
-    (or to :func:`repro.core.pipeline.solve_ruling_set`) for anything
-    else.
+    Thin wrapper over :func:`make_config_from_stats` for callers holding
+    an in-memory :class:`Graph`; pass an explicit :class:`MPCConfig` to
+    the session (or to :func:`repro.core.pipeline.solve_ruling_set`) for
+    anything else.
     """
-    n, m = graph.num_vertices, graph.num_edges
-    delta = graph.max_degree()
-    if regime == "sublinear":
-        return MPCConfig.sublinear(n, m, alpha[0], alpha[1], max_degree=delta)
-    if regime == "near-linear":
-        return MPCConfig.near_linear(n, m, max_degree=delta)
-    if regime == "single":
-        return MPCConfig.single_machine(n, m)
-    raise AlgorithmError(f"unknown regime {regime!r}")
+    return make_config_from_stats(
+        graph.num_vertices,
+        graph.num_edges,
+        graph.max_degree(),
+        regime,
+        alpha,
+    )
 
 
 @dataclass

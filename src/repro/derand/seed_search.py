@@ -34,7 +34,7 @@ from repro.derand.estimator import ThresholdEstimator
 from repro.derand.family import AffineFamily, Seed
 from repro.errors import DerandomizationError
 from repro.mpc.machine import Machine
-from repro.mpc.state_layout import KERNEL_PYTHON
+from repro.mpc.state_layout import KERNEL_PYTHON, BoundedCache
 from repro.mpc.primitives.aggregate import reduce_vector
 from repro.mpc.primitives.broadcast import broadcast_value
 from repro.mpc.simulator import Simulator
@@ -86,17 +86,25 @@ class MemoizedEstimatorBuilder:
     turning ~``2 + scan_batches + ceil(log2(p)/c)`` rebuilds per machine
     into one, and letting the estimator's own per-multiplier segment
     cache survive across reductions.
+
+    ``capacity`` bounds the cache to the backend's resident-machine
+    count: under an out-of-core backend only one shard of machines is in
+    memory at a time, and an unbounded estimator cache would quietly
+    rebuild the O(all machines) driver footprint the backend spilled.
+    Eviction only costs a rebuild on a future visit — never correctness.
     """
 
-    def __init__(self, builder: EstimatorBuilder):
+    def __init__(
+        self, builder: EstimatorBuilder, capacity: Optional[int] = None
+    ):
         self._builder = builder
-        self._cache: dict = {}
+        self._cache = BoundedCache(capacity)
 
     def __call__(self, machine: Machine) -> ThresholdEstimator:
         est = self._cache.get(machine.mid)
         if est is None:
             est = self._builder(machine)
-            self._cache[machine.mid] = est
+            self._cache.put(machine.mid, est)
         return est
 
 
@@ -129,7 +137,10 @@ def distributed_choose_seed(
     if chunk_bits < 1:
         raise DerandomizationError("chunk_bits must be >= 1")
     if cache_estimators:
-        local_estimator = MemoizedEstimatorBuilder(local_estimator)
+        local_estimator = MemoizedEstimatorBuilder(
+            local_estimator,
+            capacity=sim.backend.resident_machines_hint(),
+        )
     # Keep reduction vectors within the I/O budget: a tree node receives
     # up to (fanout - 1) * width words, so cap the width at S / 4.
     while chunk_bits > 1 and (1 << chunk_bits) > sim.config.memory_words // 4:

@@ -9,7 +9,7 @@ into networkx / SNAP-style tooling.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Iterator, Tuple, Union
 
 from repro.errors import GraphError
 from repro.graph.builder import GraphBuilder
@@ -42,16 +42,21 @@ def write_edge_list(graph: Graph, path: PathLike) -> None:
             handle.write(f"{u} {v}\n")
 
 
-def read_edge_list(path: PathLike) -> Graph:
-    """Read a graph written by :func:`write_edge_list`.
+def stream_edge_list(path: PathLike) -> Iterator[Tuple[int, int]]:
+    """Stream a graph file in constant memory.
 
-    Tolerates comment lines and both edge orientations; validates the
-    header's vertex count and edge count.
+    Yields the header ``(n, m)`` first, then one ``(u, v)`` pair per edge
+    line, as written — duplicates and both orientations included, because
+    deduplication requires memory and belongs to the consumer (the
+    in-memory builder, or the per-shard finalize of
+    :func:`repro.graph.stream.shard_edge_list`).  Validation happens as
+    lines are read: malformed headers/edges and out-of-range endpoints
+    raise :class:`GraphError` with the same messages as the in-memory
+    reader, and a file without a header raises once the stream is
+    consumed.
     """
     source = Path(path)
     header = None
-    builder = None
-    declared_edges = 0
     with source.open("r", encoding="ascii") as handle:
         for raw in handle:
             line = raw.strip()
@@ -65,27 +70,44 @@ def read_edge_list(path: PathLike) -> Graph:
                     _parse_int(parts[0], "header", line),
                     _parse_int(parts[1], "header", line),
                 )
-                declared_edges = header[1]
-                builder = GraphBuilder(header[0])
+                yield header
                 continue
             if len(parts) != 2:
                 raise GraphError(f"bad edge line: {line!r}")
-            builder.add_edge(
-                _parse_int(parts[0], "edge", line),
-                _parse_int(parts[1], "edge", line),
-            )
-    if header is None or builder is None:
+            u = _parse_int(parts[0], "edge", line)
+            v = _parse_int(parts[1], "edge", line)
+            for endpoint in (u, v):
+                if endpoint < 0:
+                    raise GraphError(
+                        f"vertex ids must be non-negative, got {endpoint}"
+                    )
+            if u >= header[0] or v >= header[0]:
+                raise GraphError(
+                    f"edge endpoints exceed declared n={header[0]} in {source}"
+                )
+            yield (u, v)
+    if header is None:
         raise GraphError(f"no header found in {source}")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Tolerates comment lines and both edge orientations; validates the
+    header's vertex count and edge count.  Built on
+    :func:`stream_edge_list`, and materializes exactly one :class:`Graph`:
+    the builder is seeded with the header's ``n``, so isolated vertices
+    survive without the old rebuild-via-``Graph.from_edges`` pass that
+    doubled peak memory.
+    """
+    stream = stream_edge_list(path)
+    num_vertices, declared_edges = next(stream)
+    builder = GraphBuilder(num_vertices)
+    for u, v in stream:
+        builder.add_edge(u, v)
     graph = builder.build()
-    if graph.num_vertices > header[0]:
-        raise GraphError(
-            f"edge endpoints exceed declared n={header[0]} in {source}"
-        )
     if graph.num_edges != declared_edges:
         raise GraphError(
             f"declared m={declared_edges} but read {graph.num_edges} edges"
         )
-    # Pad isolated vertices lost by the builder if header n is larger.
-    if graph.num_vertices < header[0]:
-        graph = Graph.from_edges(header[0], list(graph.edges()))
     return graph

@@ -93,6 +93,22 @@ def hash_partition(
     return PartitionPlan(owner=owner, num_machines=num_machines)
 
 
+def plan_from_owner_map(owner_map) -> PartitionPlan:
+    """Materialize a compact :mod:`~repro.mpc.ownermap` map into a plan.
+
+    The owner maps are the computable O(k)-word form used on the
+    machines; a :class:`PartitionPlan` is the explicit O(n) driver-side
+    form — useful for balance reporting (:meth:`PartitionPlan.machine_loads`)
+    and for cross-checking the two representations agree.
+    """
+    owner = [
+        owner_map.owner_of(v) for v in range(owner_map.num_vertices)
+    ]
+    if not owner:
+        return PartitionPlan(owner=[], num_machines=owner_map.num_machines)
+    return PartitionPlan(owner=owner, num_machines=owner_map.num_machines)
+
+
 def round_robin_partition(num_vertices: int, num_machines: int) -> PartitionPlan:
     """Vertex ``v`` to machine ``v mod k`` — simplest deterministic plan."""
     if num_machines < 1:

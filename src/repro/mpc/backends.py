@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import MPCConfigError
@@ -51,15 +52,51 @@ LOCAL_STEP = "local"
 COMMUNICATE_STEP = "communicate"
 
 
+@dataclass
+class ExchangeStats:
+    """What the simulator needs to know about a routed exchange.
+
+    A state-owning backend (``routes_messages = True``) performs the
+    whole route-validate-deliver cycle itself, because the driver process
+    never holds all machines at once.  It reports back exactly the
+    aggregates the simulator's own routing loop would have produced, so
+    metrics and traces are bit-identical across backends.
+    """
+
+    total_messages: int = 0
+    total_words: int = 0
+    max_sent: int = 0
+    max_received: int = 0
+    received_per_machine: List[int] = field(default_factory=list)
+    #: Populated only when the simulator is tracing (per-machine sent
+    #: words are O(k) per round; skipped otherwise).
+    sent_per_machine: Optional[List[int]] = None
+
+
 class SuperstepBackend:
     """How one superstep's machine callbacks get executed.
 
     Subclasses implement :meth:`run_local` and :meth:`run_communicate`;
     both must process machines in id order (or merge results as if they
     had), because routing determinism depends on it.
+
+    Two capability flags extend the contract for out-of-core backends:
+
+    ``owns_state``
+        The backend spills machine state out of the driver process
+        between supersteps; driver-side code must read machine stores
+        through :meth:`run_harvest` (never ``machines[i].store``
+        directly) and memory audits come from :meth:`memory_snapshot`.
+
+    ``routes_messages``
+        The backend performs the inter-machine exchange itself via
+        :meth:`run_exchange` (validation, budget enforcement, delivery),
+        instead of returning outboxes for the simulator to route.
     """
 
     name = "abstract"
+    owns_state = False
+    routes_messages = False
 
     def run_local(self, machines: Sequence[Machine], fn: MachineFn) -> None:
         """Apply ``fn`` to every machine, mutating stores in place."""
@@ -70,6 +107,61 @@ class SuperstepBackend:
     ) -> List[List[Message]]:
         """Apply ``fn`` to every machine; return outboxes in id order."""
         raise NotImplementedError
+
+    def run_exchange(
+        self,
+        machines: Sequence[Machine],
+        fn: MachineFn,
+        *,
+        memory_words: int,
+        enforce: bool = True,
+        want_sent_per_machine: bool = False,
+    ) -> ExchangeStats:
+        """Route one full exchange (``routes_messages`` backends only).
+
+        Must raise exactly the errors the simulator's serial routing loop
+        raises — same types, same messages, same machine-id order — and
+        deliver payloads in arrival order (sender id ascending, then send
+        order within a sender).
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not route messages"
+        )
+
+    def run_harvest(
+        self,
+        machines: Sequence[Machine],
+        fn: MachineFn,
+        only: Optional[Sequence[int]] = None,
+    ) -> List[object]:
+        """Apply a driver-side read (or plant) to machines, keeping state.
+
+        ``only`` selects machine ids; results come back in the order
+        requested (id order when ``only`` is None).  ``fn`` may mutate the
+        machine (pop a staging key, plant a value) — state-owning
+        backends persist the mutation to the spilled shard.
+        """
+        targets = machines if only is None else [machines[i] for i in only]
+        return [fn(machine) for machine in targets]
+
+    def memory_snapshot(self) -> Optional[List[int]]:
+        """Per-machine word counts as of the last superstep, or None.
+
+        State-owning backends return the words each machine held when its
+        shard was spilled (priced by the same :func:`~repro.mpc.machine.words_of`
+        contract); ``None`` means "measure the live machines directly".
+        """
+        return None
+
+    def resident_machines_hint(self) -> Optional[int]:
+        """How many machines are resident at once, or None for "all".
+
+        Driver-side per-machine caches (memoized estimators, CSR views)
+        use this to bound themselves: holding cache entries for machines
+        whose state is spilled to disk would silently rebuild the O(full
+        graph) driver footprint the backend exists to avoid.
+        """
+        return None
 
     def shutdown(self) -> None:
         """Release any worker resources (idempotent)."""
@@ -284,9 +376,23 @@ class ProcessPoolBackend(SuperstepBackend):
         return [outbox if outbox is not None else [] for outbox in merged]
 
 
+def _make_shard_backend(workers: int) -> SuperstepBackend:
+    # Imported lazily: repro.mpc.shard depends on this module.
+    from repro.mpc.shard import ShardBackend
+
+    return ShardBackend(num_shards=workers)
+
+
+SHARD_BACKEND_NAME = "shard"
+
+#: name → factory(workers).  ``workers`` means pool size for ``process``
+#: and shard count for ``shard`` (0 → each backend's default).
 BACKENDS = {
-    SerialBackend.name: SerialBackend,
-    ProcessPoolBackend.name: ProcessPoolBackend,
+    SerialBackend.name: lambda workers: SerialBackend(),
+    ProcessPoolBackend.name: lambda workers: ProcessPoolBackend(
+        workers=workers
+    ),
+    SHARD_BACKEND_NAME: _make_shard_backend,
 }
 
 
@@ -302,6 +408,4 @@ def resolve_backend(
         raise MPCConfigError(
             f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
         )
-    if name == ProcessPoolBackend.name:
-        return ProcessPoolBackend(workers=workers)
-    return SerialBackend()
+    return BACKENDS[name](workers)

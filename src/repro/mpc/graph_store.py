@@ -76,6 +76,33 @@ class DistributedGraph:
         sim.local(plant)
         return cls(sim, owner_map, graph.num_vertices)
 
+    @classmethod
+    def load_sharded(cls, sim: Simulator, sharded) -> "DistributedGraph":
+        """Distribute a pre-sharded on-disk graph (streaming ingest).
+
+        ``sharded`` is a :class:`~repro.graph.stream.ShardedGraph`: the
+        ingest already bucketed each machine's adjacency into its own
+        spill file, so *no process ever materializes the full edge list*
+        — each machine callback reads only its own shard.  The planted
+        state is bit-identical to :meth:`load` under the same owner map
+        (same keys in the same ``owned_by`` order, isolated vertices
+        included as empty rows), which is what makes streamed and
+        in-memory runs interchangeable.
+        """
+        owner_map = sharded.owner_map
+        serialized = owner_map.serialize()
+
+        def plant(machine: Machine) -> None:
+            rows = sharded.read_shard(machine.mid)
+            adj: Dict[int, Tuple[int, ...]] = {}
+            for v in owner_map.owned_by(machine.mid):
+                adj[v] = rows.get(v, ())
+            machine.store[ADJ] = adj
+            machine.store[OWNER] = tuple(serialized)
+
+        sim.local(plant)
+        return cls(sim, owner_map, sharded.num_vertices)
+
     # ------------------------------------------------------------------
     # Local accessors (used inside machine callbacks)
     # ------------------------------------------------------------------
@@ -316,20 +343,30 @@ class DistributedGraph:
         self, adj_key: str = ADJ
     ) -> Tuple[List[int], List[Tuple[int, int]]]:
         """Return (active vertices, active edges) read off the machines."""
+
+        def read(machine: Machine):
+            adj = machine.store[adj_key]
+            local_vertices = list(adj)
+            local_edges = [
+                (v, u)
+                for v, neighbors in adj.items()
+                for u in neighbors
+                if v < u
+            ]
+            return local_vertices, local_edges
+
         vertices: List[int] = []
         edges: List[Tuple[int, int]] = []
-        for machine in self.sim.machines:
-            adj = machine.store[adj_key]
-            for v, neighbors in adj.items():
-                vertices.append(v)
-                for u in neighbors:
-                    if v < u:
-                        edges.append((v, u))
+        for local_vertices, local_edges in self.sim.harvest(read):
+            vertices.extend(local_vertices)
+            edges.extend(local_edges)
         return sorted(vertices), sorted(edges)
 
     def collect_marked(self, key: str) -> List[int]:
         """Union of per-machine vertex sets stored under ``key`` (readout)."""
         marked: List[int] = []
-        for machine in self.sim.machines:
-            marked.extend(machine.store.get(key, ()))
+        for chunk in self.sim.harvest(
+            lambda machine: list(machine.store.get(key, ()))
+        ):
+            marked.extend(chunk)
         return sorted(set(marked))

@@ -183,7 +183,10 @@ class LocalBridge:
     def collect_states(self) -> Dict[int, Any]:
         """Driver-side readout of every vertex's final state."""
         states: Dict[int, Any] = {}
-        for machine in self.dg.sim.machines:
-            if STATES in machine.store:
-                states.update(machine.store[STATES].value)
+        for chunk in self.dg.sim.harvest(
+            lambda m: dict(m.store[STATES].value)
+            if STATES in m.store
+            else {}
+        ):
+            states.update(chunk)
         return states

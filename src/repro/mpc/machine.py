@@ -10,7 +10,15 @@ raises instead of under-counting.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Any, Dict, List, Tuple
+
+#: Types that cost exactly one word each — the batched fast paths may
+#: price a whole container by ``len`` only when every element's type is
+#: in this set.  ``str`` is deliberately absent (it prices per-8-chars),
+#: as is ``NoneType`` (prices 0).
+_SCALARS = frozenset((int, bool, float))
+_TUPLE_ONLY = frozenset((tuple,))
 
 
 class Costed:
@@ -45,10 +53,13 @@ def words_of(obj: Any) -> int:
 
     The accountant runs after *every* superstep over every machine's full
     state, which makes it the simulator's hottest loop on seed-search
-    workloads.  Exact-type dispatch with inline counting of flat ints
-    keeps the common case (containers of plain ints) to one Python frame
-    per container; subclasses of the accepted types fall through to the
-    slow path with identical accounting.
+    workloads.  The dominant shapes — flat containers of plain ints, and
+    adjacency dicts mapping int keys to int tuples — are priced *batched*:
+    one C-level type sweep (``set(map(type, ...))``) decides whether the
+    whole container can be charged by length, replacing the per-element
+    Python loop.  Anything the sweep cannot prove flat falls back to the
+    element-by-element walk with identical accounting (the priced-words
+    contract is unchanged; only the loop moved below the interpreter).
 
     >>> words_of(5)
     1
@@ -61,6 +72,19 @@ def words_of(obj: Any) -> int:
     if t is int:
         return 1
     if t is tuple or t is list or t is set or t is frozenset:
+        if not obj:
+            return 0
+        kinds = set(map(type, obj))
+        if kinds <= _SCALARS:
+            # Flat container of one-word scalars: price by length.
+            return len(obj)
+        if kinds == _TUPLE_ONLY:
+            # Container of tuples (adjacency rows, message payloads): if
+            # every element of every row is a scalar, the whole structure
+            # prices as the total element count — two C passes, zero
+            # Python-level iterations.
+            if set(map(type, chain.from_iterable(obj))) <= _SCALARS:
+                return sum(map(len, obj))
         total = 0
         for item in obj:
             if type(item) is int:
@@ -69,6 +93,19 @@ def words_of(obj: Any) -> int:
                 total += words_of(item)
         return total
     if t is dict:
+        if not obj:
+            return 0
+        values = obj.values()
+        if set(map(type, obj)) <= _SCALARS:
+            vkinds = set(map(type, values))
+            if vkinds <= _SCALARS:
+                return 2 * len(obj)
+            if vkinds == _TUPLE_ONLY and (
+                set(map(type, chain.from_iterable(values))) <= _SCALARS
+            ):
+                # int → flat int tuple (the adjacency-store shape):
+                # keys cost len, values cost their total element count.
+                return len(obj) + sum(map(len, values))
         total = 0
         for k, v in obj.items():
             total += 1 if type(k) is int else words_of(k)

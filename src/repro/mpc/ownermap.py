@@ -1,6 +1,6 @@
 """Compact, computable vertex→machine ownership maps.
 
-A low-memory machine cannot store the full ``owner[v]`` table (that is
+A low-space machine cannot store the full ``owner[v]`` table (that is
 ``n`` words).  Ownership must instead be *computable* from O(k) words of
 shared metadata.  Three implementations:
 
@@ -13,6 +13,12 @@ shared metadata.  Three implementations:
 Every map exposes ``owner_of(v)``, its metadata footprint in words, and a
 ``serialize()/deserialize()`` pair so the metadata can be shipped to
 machines as plain integer tuples.
+
+Edges are addressed by a symmetric 64-bit id — ``edge_id(u, v) ==
+edge_id(v, u)`` — so both endpoints' owners agree on the name of a shared
+edge without coordination.  ``edge_owner_of`` hashes that id onto a
+machine, giving edge-sharded layouts the same computable-ownership
+discipline as vertices.
 """
 
 from __future__ import annotations
@@ -28,6 +34,46 @@ from repro.util.rng import splitmix64
 _KIND_RANGE = 0
 _KIND_MOD = 1
 _KIND_HASH = 2
+
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _check_vertex(v: int, num_vertices: int) -> None:
+    """Shared bounds check: every map rejects out-of-range ids the same way."""
+    if not 0 <= v < num_vertices:
+        raise MPCConfigError(f"vertex {v} out of range")
+
+
+def _check_sizes(num_vertices: int, num_machines: int) -> None:
+    """Shared constructor validation for the computable (mod/hash) maps."""
+    if num_vertices < 0:
+        raise MPCConfigError(f"num_vertices must be >= 0, got {num_vertices}")
+    if num_machines < 1:
+        raise MPCConfigError(f"num_machines must be >= 1, got {num_machines}")
+
+
+def edge_id(u: int, v: int) -> int:
+    """Symmetric 64-bit edge id: ``edge_id(u, v) == edge_id(v, u)``.
+
+    The canonical orientation ``(min, max)`` is mixed through SplitMix64
+    twice so adjacent ids do not collide under small moduli.
+
+    >>> edge_id(3, 7) == edge_id(7, 3)
+    True
+    >>> edge_id(0, 1) != edge_id(0, 2)
+    True
+    """
+    lo, hi = (u, v) if u <= v else (v, u)
+    if lo < 0:
+        raise MPCConfigError(f"vertex {lo} out of range")
+    return splitmix64(splitmix64(lo) ^ ((hi * _GOLDEN) & ((1 << 64) - 1)))
+
+
+def edge_owner_of(eid: int, num_machines: int) -> int:
+    """Hash a symmetric edge id onto one of ``num_machines`` machines."""
+    if num_machines < 1:
+        raise MPCConfigError(f"num_machines must be >= 1, got {num_machines}")
+    return splitmix64(eid) % num_machines
 
 
 @dataclass(frozen=True)
@@ -57,8 +103,7 @@ class RangeOwnerMap:
         >>> RangeOwnerMap((0, 2, 5)).owner_of(3)
         1
         """
-        if not 0 <= v < self.num_vertices:
-            raise MPCConfigError(f"vertex {v} out of range")
+        _check_vertex(v, self.num_vertices)
         return bisect.bisect_right(self.bounds, v) - 1
 
     def owned_by(self, machine: int) -> range:
@@ -79,9 +124,11 @@ class ModOwnerMap:
     num_vertices: int
     num_machines: int
 
+    def __post_init__(self) -> None:
+        _check_sizes(self.num_vertices, self.num_machines)
+
     def owner_of(self, v: int) -> int:
-        if not 0 <= v < self.num_vertices:
-            raise MPCConfigError(f"vertex {v} out of range")
+        _check_vertex(v, self.num_vertices)
         return v % self.num_machines
 
     def owned_by(self, machine: int) -> range:
@@ -102,10 +149,12 @@ class HashOwnerMap:
     num_machines: int
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        _check_sizes(self.num_vertices, self.num_machines)
+
     def owner_of(self, v: int) -> int:
-        if not 0 <= v < self.num_vertices:
-            raise MPCConfigError(f"vertex {v} out of range")
-        return splitmix64(v ^ (self.seed * 0x9E3779B97F4A7C15)) % self.num_machines
+        _check_vertex(v, self.num_vertices)
+        return splitmix64(v ^ (self.seed * _GOLDEN)) % self.num_machines
 
     def owned_by(self, machine: int) -> list:
         return [
@@ -154,13 +203,29 @@ def balanced_range_map(graph: Graph, num_machines: int) -> RangeOwnerMap:
 
 
 def deserialize_owner_map(data: Tuple[int, ...]):
-    """Inverse of each map's ``serialize``."""
+    """Inverse of each map's ``serialize``.
+
+    Hostile payloads (wrong arity, non-integer fields, unknown kinds)
+    raise :class:`MPCConfigError` instead of ``IndexError``/``TypeError``
+    — the metadata travels between machines as a plain tuple, so this is
+    an input-validation boundary, not an internal invariant.
+    """
+    if not isinstance(data, (tuple, list)) or not data:
+        raise MPCConfigError(f"owner-map payload must be a non-empty tuple, got {data!r}")
+    if not all(isinstance(x, int) and not isinstance(x, bool) for x in data):
+        raise MPCConfigError(f"owner-map payload must be all ints, got {data!r}")
     kind = data[0]
     if kind == _KIND_RANGE:
+        if len(data) < 3:
+            raise MPCConfigError(f"range owner-map payload too short: {data!r}")
         return RangeOwnerMap(tuple(data[1:]))
     if kind == _KIND_MOD:
+        if len(data) != 3:
+            raise MPCConfigError(f"mod owner-map payload needs 3 fields, got {data!r}")
         return ModOwnerMap(num_vertices=data[1], num_machines=data[2])
     if kind == _KIND_HASH:
+        if len(data) != 4:
+            raise MPCConfigError(f"hash owner-map payload needs 4 fields, got {data!r}")
         return HashOwnerMap(
             num_vertices=data[1], num_machines=data[2], seed=data[3]
         )

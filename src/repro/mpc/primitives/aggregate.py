@@ -82,8 +82,10 @@ def reduce_vector(
         sim.local(merge)
         stride *= fanout
 
-    result = tuple(sim.machine(0).store.pop(_PARTIAL))
-    return result
+    def read_root(machine):
+        return machine.store.pop(_PARTIAL)
+
+    return tuple(sim.harvest(read_root, only=(0,))[0])
 
 
 def reduce_scalar(

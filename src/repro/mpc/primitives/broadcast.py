@@ -30,7 +30,10 @@ def broadcast_value(
     budget = max(2, (sim.config.memory_words // 4) // width)
     fanout = min(max(2, budget), max(2, sim.num_machines))
 
-    sim.machine(0).store[store_key] = value
+    def plant_root(machine) -> None:
+        machine.store[store_key] = value
+
+    sim.harvest(plant_root, only=(0,))
 
     covered = 1
     k = sim.num_machines

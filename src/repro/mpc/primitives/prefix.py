@@ -59,5 +59,8 @@ def exclusive_prefix_counts(
         machine.store.pop(_COUNT, None)
 
     sim.local(install)
-    total = sim.machine(0).store.pop("_prim_total")
-    return total
+
+    def read_total(machine):
+        return machine.store.pop("_prim_total")
+
+    return sim.harvest(read_total, only=(0,))[0]

@@ -76,7 +76,11 @@ def sample_sort(sim: Simulator, items_key: str, width: int) -> None:
         machine.store["_prim_flat_splitters"] = tuple(flat)
 
     sim.local(pick_splitters)
-    flat = sim.machine(0).store.pop("_prim_flat_splitters")
+
+    def read_splitters(machine):
+        return machine.store.pop("_prim_flat_splitters")
+
+    flat = sim.harvest(read_splitters, only=(0,))[0]
     broadcast_value(sim, flat, _SPLITTERS)
 
     def route(machine) -> List[Message]:

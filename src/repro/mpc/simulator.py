@@ -43,8 +43,9 @@ enforcement, or algorithm state, so traced runs stay bit-identical.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import MPCRoutingError, MPCViolationError
 from repro.mpc.backends import SuperstepBackend, resolve_backend
@@ -55,6 +56,14 @@ from repro.mpc.metrics import RunMetrics
 from repro.mpc.trace import TraceRecorder
 
 MachineFn = Callable[[Machine], Optional[Iterable[Message]]]
+
+#: Environment override for the execution backend, mirroring
+#: ``REPRO_KERNEL``: applied only when neither an explicit backend object
+#: nor a non-default ``config.backend`` was chosen, so programmatic
+#: choices always win.  This is how the shard-parity CI gate replays the
+#: whole refactor-parity oracle under ``--backend shard`` without
+#: touching the frozen oracle cells.
+BACKEND_ENV = "REPRO_BACKEND"
 
 
 class Simulator:
@@ -80,11 +89,13 @@ class Simulator:
             Machine(mid) for mid in range(config.num_machines)
         ]
         self.metrics = RunMetrics()
-        self.backend: SuperstepBackend = (
-            backend
-            if backend is not None
-            else resolve_backend(config.backend, config.backend_workers)
-        )
+        if backend is not None:
+            self.backend: SuperstepBackend = backend
+        else:
+            name = config.backend
+            if name == "serial":
+                name = os.environ.get(BACKEND_ENV) or name
+            self.backend = resolve_backend(name, config.backend_workers)
         if trace is not None:
             self.trace: Optional[TraceRecorder] = trace
         elif config.trace:
@@ -119,6 +130,41 @@ class Simulator:
         round completes.
         """
         started = time.perf_counter()
+        if self.backend.routes_messages:
+            # A state-owning backend performs the whole route-validate-
+            # deliver cycle itself (it cannot hand us all outboxes at
+            # once without materializing the round's traffic) and reports
+            # back the aggregates this loop would have produced.
+            stats = self.backend.run_exchange(
+                self.machines,
+                fn,
+                memory_words=self.config.memory_words,
+                enforce=self.enforce,
+                want_sent_per_machine=self.trace is not None,
+            )
+            self.metrics.record_round(
+                messages=stats.total_messages,
+                words=stats.total_words,
+                max_sent=stats.max_sent,
+                max_received=stats.max_received,
+            )
+            elapsed = time.perf_counter() - started
+            self.metrics.record_elapsed(elapsed, is_round=True)
+            if self.trace is not None:
+                self.trace.record_round(
+                    round_index=self.metrics.rounds,
+                    phase=self.metrics.current_phase(),
+                    elapsed_s=elapsed,
+                    messages=stats.total_messages,
+                    words=stats.total_words,
+                    max_sent=stats.max_sent,
+                    max_received=stats.max_received,
+                    sent_per_machine=stats.sent_per_machine,
+                    received_per_machine=stats.received_per_machine,
+                    backend_stats=self.backend.stats(),
+                )
+            self._check_memory()
+            return
         outboxes = self.backend.run_communicate(self.machines, fn)
 
         inboxes: List[List[Tuple[int, ...]]] = [
@@ -199,8 +245,30 @@ class Simulator:
             self.trace.record_phase(name, self.metrics.rounds)
 
     def machine(self, mid: int) -> Machine:
-        """Return machine ``mid``."""
+        """Return machine ``mid``.
+
+        Under a state-owning backend the returned object's store may be a
+        cleared husk (the real state is spilled); driver-side reads must
+        go through :meth:`harvest` instead.
+        """
         return self.machines[mid]
+
+    def harvest(
+        self,
+        fn: Callable[[Machine], object],
+        only: Optional[Sequence[int]] = None,
+    ) -> List[object]:
+        """Driver-side read (or plant) against live machine state.
+
+        Applies ``fn`` to the selected machines (all of them, in id
+        order, when ``only`` is None) and returns the results in the
+        order requested.  This is the only sanctioned way for driver code
+        to touch machine stores between supersteps: state-owning backends
+        page the right shard in, persist any mutation ``fn`` made, and
+        keep their memory accounting coherent.  On in-memory backends it
+        degenerates to a plain loop.
+        """
+        return self.backend.run_harvest(self.machines, fn, only)
 
     def shutdown(self) -> None:
         """Release backend resources (worker pools); safe to call twice."""
@@ -221,6 +289,20 @@ class Simulator:
     # Internal
     # ------------------------------------------------------------------
     def _check_memory(self) -> None:
+        snapshot = self.backend.memory_snapshot()
+        if snapshot is not None:
+            # State-owning backend: audit the words it priced at spill
+            # time (same words_of contract, same id order, same fault).
+            for mid, words in enumerate(snapshot):
+                self.metrics.record_memory(words)
+                if self.trace is not None:
+                    self.trace.record_memory(mid, words, self.metrics.rounds)
+                if self.enforce and words > self.config.memory_words:
+                    raise MPCViolationError(
+                        f"machine {mid} holds {words} words, budget "
+                        f"S={self.config.memory_words}"
+                    )
+            return
         for machine in self.machines:
             words = machine.memory_words()
             self.metrics.record_memory(words)

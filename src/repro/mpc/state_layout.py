@@ -47,6 +47,7 @@ both kernels and fails on any record diff.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import MPCConfigError
@@ -269,3 +270,47 @@ def flatten_groups(
         count=int(indptr[-1]) if len(groups) else 0,
     )
     return indptr, values
+
+
+class BoundedCache:
+    """A tiny LRU for driver-side per-machine caches.
+
+    ``capacity=None`` means unbounded — correct when every machine stays
+    resident (serial/process backends).  Out-of-core backends report how
+    many machines are resident at once
+    (:meth:`~repro.mpc.backends.SuperstepBackend.resident_machines_hint`);
+    sizing per-machine caches to that bound keeps the driver's footprint
+    O(shard) instead of silently rebuilding O(all machines) state the
+    backend just spilled.
+
+    >>> c = BoundedCache(2)
+    >>> c.put(1, "a"); c.put(2, "b"); c.put(3, "c")
+    >>> c.get(1) is None
+    True
+    >>> c.get(3)
+    'c'
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise MPCConfigError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None or key in self._entries:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -230,14 +230,35 @@ class ResultCache:
 
     # -- maintenance -----------------------------------------------------
 
+    def _disk_objects(self):
+        """Snapshot the disk tier's object paths, tolerating races.
+
+        A concurrent ``cache clear`` or eviction may remove files (or the
+        whole tree) between the ``rglob`` walk and our use of each path;
+        a vanished tree is simply an empty listing.
+        """
+        if self._disk is None:
+            return []
+        try:
+            return sorted((self._disk / "objects").rglob("*.json"))
+        except OSError:
+            return []
+
     def clear(self) -> int:
-        """Drop both tiers; returns the number of disk entries removed."""
+        """Drop both tiers; returns the number of disk entries removed.
+
+        Entries deleted concurrently by another process are skipped, not
+        raised: two racing ``clear`` calls both succeed, and the counts
+        they return sum over at least every entry that existed.
+        """
         self._memory.clear()
         removed = 0
-        if self._disk is not None:
-            for path in sorted((self._disk / "objects").rglob("*.json")):
+        for path in self._disk_objects():
+            try:
                 path.unlink()
-                removed += 1
+            except FileNotFoundError:
+                continue  # lost the race to a concurrent clear/eviction
+            removed += 1
         return removed
 
     def stats(self) -> Dict[str, int]:
@@ -250,15 +271,18 @@ class ResultCache:
 
     def disk_entries(self) -> int:
         """Number of objects in the disk tier (0 when disabled)."""
-        if self._disk is None:
-            return 0
-        return sum(1 for _ in (self._disk / "objects").rglob("*.json"))
+        return len(self._disk_objects())
 
     def disk_bytes(self) -> int:
-        """Total size of the disk tier in bytes (0 when disabled)."""
-        if self._disk is None:
-            return 0
-        return sum(
-            path.stat().st_size
-            for path in (self._disk / "objects").rglob("*.json")
-        )
+        """Total size of the disk tier in bytes (0 when disabled).
+
+        Entries vanishing under a concurrent clear contribute zero
+        instead of raising ``FileNotFoundError`` mid-sum.
+        """
+        total = 0
+        for path in self._disk_objects():
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:
+                continue
+        return total

@@ -1,0 +1,261 @@
+"""The out-of-core shard backend: parity, residency, harvest, errors.
+
+The contract under test is determinism-by-construction: a run on the
+shard backend must be *bit-identical* to the serial backend — members,
+rounds, every model metric, and even the text of budget/routing errors —
+while never keeping more than one machine shard resident in the driver.
+"""
+
+import os
+
+import pytest
+
+from repro.core.det_luby import det_luby_mis
+from repro.core.det_ruling import det_ruling_set
+from repro.errors import MPCConfigError, MPCRoutingError, MPCViolationError
+from repro.graph import generators as gen
+from repro.mpc.backends import resolve_backend
+from repro.mpc.config import MPCConfig
+from repro.mpc.graph_store import DistributedGraph
+from repro.mpc.machine import words_of
+from repro.mpc.message import Message
+from repro.mpc.ownermap import ModOwnerMap
+from repro.mpc.shard import ShardBackend
+from repro.mpc.simulator import BACKEND_ENV, Simulator
+
+
+def _run(graph, backend=None, solver=det_luby_mis):
+    cfg = MPCConfig.sublinear(
+        graph.num_vertices, graph.num_edges, max_degree=graph.max_degree()
+    )
+    with Simulator(cfg, backend=backend) as sim:
+        dg = DistributedGraph.load(
+            sim, graph, ModOwnerMap(graph.num_vertices, cfg.num_machines)
+        )
+        solver(dg)
+        members = dg.collect_marked("result_set")
+        metrics = dict(sim.metrics.summary())
+        rounds = sim.metrics.rounds
+    return members, rounds, metrics
+
+
+class TestParity:
+    @pytest.mark.parametrize("num_shards", [1, 3, 4, 7])
+    def test_bit_identical_to_serial(self, num_shards):
+        graph = gen.gnp_random_graph(80, 6, 80, seed=13)
+        serial = _run(graph)
+        sharded = _run(graph, backend=ShardBackend(num_shards=num_shards))
+        assert sharded == serial
+
+    def test_det_ruling_parity(self):
+        graph = gen.gnp_random_graph(64, 5, 64, seed=5)
+        serial = _run(graph, solver=det_ruling_set)
+        sharded = _run(
+            graph, backend=ShardBackend(num_shards=3), solver=det_ruling_set
+        )
+        assert sharded == serial
+
+    def test_tiny_chunk_size_changes_nothing(self):
+        # chunk_messages=1 forces a spool flush per message: maximal
+        # chunking must still reproduce the serial arrival order.
+        graph = gen.gnp_random_graph(48, 4, 48, seed=3)
+        serial = _run(graph)
+        sharded = _run(
+            graph, backend=ShardBackend(num_shards=4, chunk_messages=1)
+        )
+        assert sharded == serial
+
+    def test_more_shards_than_machines(self):
+        graph = gen.cycle_graph(24)
+        serial = _run(graph)
+        sharded = _run(graph, backend=ShardBackend(num_shards=64))
+        assert sharded == serial
+
+
+class TestResidency:
+    def test_one_shard_resident_at_a_time(self):
+        graph = gen.gnp_random_graph(96, 8, 96, seed=21)
+
+        def peak_resident(num_shards):
+            cfg = MPCConfig.sublinear(
+                graph.num_vertices,
+                graph.num_edges,
+                max_degree=graph.max_degree(),
+            )
+            backend = ShardBackend(num_shards=num_shards)
+            with Simulator(cfg, backend=backend) as sim:
+                dg = DistributedGraph.load(
+                    sim,
+                    graph,
+                    ModOwnerMap(graph.num_vertices, cfg.num_machines),
+                )
+                det_luby_mis(dg)
+                stats = backend.stats()
+                largest = max(len(rng) for rng in backend._shards)
+                assert stats["max_resident_machines"] == largest
+            return stats["max_resident_words"]
+
+        # num_shards=1 keeps every machine resident — that high-water
+        # mark is the all-in-driver footprint sharding exists to shrink.
+        assert peak_resident(4) < peak_resident(1)
+
+    def test_spill_files_are_source_of_truth(self):
+        # After any superstep the in-driver Machine objects are husks.
+        cfg = MPCConfig(num_machines=6, memory_words=4096)
+        backend = ShardBackend(num_shards=3)
+        with Simulator(cfg, backend=backend) as sim:
+            sim.local(lambda m: m.store.__setitem__("x", m.mid))
+            assert all(m.store == {} for m in sim.machines)
+            values = sim.harvest(lambda m: m.store["x"])
+        assert values == [0, 1, 2, 3, 4, 5]
+
+    def test_shutdown_removes_spill_dir(self):
+        cfg = MPCConfig(num_machines=4, memory_words=1024)
+        backend = ShardBackend(num_shards=2)
+        with Simulator(cfg, backend=backend) as sim:
+            sim.local(lambda m: m.store.__setitem__("x", 1))
+            spill_dir = backend._dir
+            assert spill_dir is not None and os.path.isdir(spill_dir)
+        assert not os.path.exists(spill_dir)
+
+    def test_memory_snapshot_prices_spilled_state(self):
+        cfg = MPCConfig(num_machines=4, memory_words=1024)
+        backend = ShardBackend(num_shards=2)
+        with Simulator(cfg, backend=backend) as sim:
+            sim.local(
+                lambda m: m.store.__setitem__("x", tuple(range(m.mid + 1)))
+            )
+            snapshot = sim.backend.memory_snapshot()
+        expected = [words_of({"x": tuple(range(mid + 1))}) for mid in range(4)]
+        assert snapshot == expected
+
+
+class TestHarvest:
+    def test_harvest_mutation_persists(self):
+        cfg = MPCConfig(num_machines=5, memory_words=1024)
+        backend = ShardBackend(num_shards=2)
+        with Simulator(cfg, backend=backend) as sim:
+            sim.local(lambda m: m.store.__setitem__("x", m.mid))
+            popped = sim.harvest(lambda m: m.store.pop("x"), only=(3,))
+            assert popped == [3]
+            remaining = sim.harvest(lambda m: sorted(m.store))
+        assert remaining == [["x"], ["x"], ["x"], [], ["x"]]
+
+    def test_harvest_only_order_is_request_order(self):
+        cfg = MPCConfig(num_machines=6, memory_words=1024)
+        backend = ShardBackend(num_shards=3)
+        with Simulator(cfg, backend=backend) as sim:
+            sim.local(lambda m: m.store.__setitem__("x", m.mid * 10))
+            values = sim.harvest(lambda m: m.store["x"], only=(5, 0, 2))
+        assert values == [50, 0, 20]
+
+    def test_harvest_matches_serial_backend(self):
+        cfg = MPCConfig(num_machines=4, memory_words=1024)
+        with Simulator(cfg) as sim:
+            sim.local(lambda m: m.store.__setitem__("x", m.mid))
+            assert sim.harvest(lambda m: m.store["x"]) == [0, 1, 2, 3]
+            assert sim.harvest(lambda m: m.store["x"], only=(2,)) == [2]
+
+
+class TestErrors:
+    def _violation_texts(self, backend):
+        cfg = MPCConfig(num_machines=3, memory_words=8)
+        with Simulator(cfg, backend=backend) as sim:
+            with pytest.raises(MPCViolationError) as err:
+                sim.communicate(
+                    lambda m: [Message(0, tuple(range(16)))]
+                    if m.mid == 1
+                    else []
+                )
+        return str(err.value)
+
+    def test_sent_violation_text_matches_serial(self):
+        assert self._violation_texts(None) == self._violation_texts(
+            ShardBackend(num_shards=2)
+        )
+
+    def test_received_violation_text_matches_serial(self):
+        def fan_in(m):
+            return [Message(0, (1, 2, 3, 4, 5, 6))]
+
+        texts = []
+        for backend in (None, ShardBackend(num_shards=2)):
+            cfg = MPCConfig(num_machines=3, memory_words=8)
+            with Simulator(cfg, backend=backend) as sim:
+                with pytest.raises(MPCViolationError) as err:
+                    sim.communicate(fan_in)
+            texts.append(str(err.value))
+        assert texts[0] == texts[1]
+        assert "received" in texts[0]
+
+    def test_routing_error_text_matches_serial(self):
+        texts = []
+        for backend in (None, ShardBackend(num_shards=2)):
+            cfg = MPCConfig(num_machines=3, memory_words=64)
+            with Simulator(cfg, backend=backend) as sim:
+                with pytest.raises(MPCRoutingError) as err:
+                    sim.communicate(
+                        lambda m: [Message(7, (1,))] if m.mid == 2 else []
+                    )
+            texts.append(str(err.value))
+        assert texts[0] == texts[1]
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(MPCConfigError):
+            ShardBackend(num_shards=-1)
+        with pytest.raises(MPCConfigError):
+            ShardBackend(chunk_messages=-1)
+
+
+class TestWiring:
+    def test_resolve_backend_by_name(self):
+        backend = resolve_backend("shard", 3)
+        assert isinstance(backend, ShardBackend)
+        assert backend.num_shards == 3
+        backend.shutdown()
+
+    def test_config_backend_shard(self):
+        cfg = MPCConfig(num_machines=4, memory_words=1024).with_backend(
+            "shard", 2
+        )
+        with Simulator(cfg) as sim:
+            assert isinstance(sim.backend, ShardBackend)
+            sim.local(lambda m: m.store.__setitem__("x", 1))
+            assert sim.harvest(lambda m: m.store["x"]) == [1, 1, 1, 1]
+
+    def test_env_override_applies_to_default_config(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "shard")
+        cfg = MPCConfig(num_machines=4, memory_words=1024)
+        sim = Simulator(cfg)
+        try:
+            assert isinstance(sim.backend, ShardBackend)
+        finally:
+            sim.shutdown()
+
+    def test_env_override_loses_to_explicit_config(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "shard")
+        cfg = MPCConfig(num_machines=2, memory_words=1024).with_backend(
+            "process", 1
+        )
+        sim = Simulator(cfg)
+        try:
+            assert not isinstance(sim.backend, ShardBackend)
+            assert sim.backend.name == "process"
+        finally:
+            sim.shutdown()
+
+    def test_spill_dir_env_respected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(tmp_path))
+        cfg = MPCConfig(num_machines=2, memory_words=1024)
+        backend = ShardBackend(num_shards=2)
+        with Simulator(cfg, backend=backend) as sim:
+            sim.local(lambda m: m.store.__setitem__("x", 1))
+            assert backend._dir.startswith(str(tmp_path))
+
+    def test_resident_machines_hint(self):
+        cfg = MPCConfig(num_machines=10, memory_words=1024)
+        backend = ShardBackend(num_shards=4)
+        with Simulator(cfg, backend=backend) as sim:
+            assert sim.backend.resident_machines_hint() is None
+            sim.local(lambda m: None)
+            assert sim.backend.resident_machines_hint() == 3

@@ -6,6 +6,7 @@ from repro.derand.family import Seed
 from repro.errors import MPCConfigError
 from repro.mpc.config import MPCConfig
 from repro.mpc.state_layout import (
+    BoundedCache,
     KERNEL_ENV,
     KERNEL_NUMPY,
     KERNEL_PYTHON,
@@ -166,3 +167,36 @@ class TestFlattenGroups:
         indptr, values = flatten_groups([], np)
         assert indptr.tolist() == [0]
         assert values.tolist() == []
+
+
+class TestBoundedCache:
+    def test_unbounded_by_default(self):
+        cache = BoundedCache(None)
+        for i in range(100):
+            cache.put(i, i * 2)
+        assert len(cache) == 100
+        assert cache.get(0) == 0
+
+    def test_lru_eviction(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a: b is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(MPCConfigError):
+            BoundedCache(0)

@@ -130,3 +130,60 @@ class TestDiskTier:
         from_memory = cache.get("k")
         from_disk = ResultCache(disk_dir=tmp_path).get("k")
         assert from_memory == from_disk == payload
+
+
+class TestConcurrentMutation:
+    """Disk-tier accounting must tolerate files vanishing mid-walk."""
+
+    def _populated(self, tmp_path, count=3):
+        cache = ResultCache(memory_entries=0, disk_dir=tmp_path)
+        for tag in range(count):
+            cache.put(f"key-{tag}", _payload(tag))
+        return cache
+
+    def test_disk_bytes_with_vanishing_entries(self, tmp_path, monkeypatch):
+        cache = self._populated(tmp_path)
+        paths = cache._disk_objects()
+        assert len(paths) == 3
+        survivor_bytes = paths[0].stat().st_size
+
+        original = type(paths[1]).stat
+        doomed = {str(p) for p in paths[1:]}
+
+        def racing_stat(self, **kwargs):
+            # Simulate a concurrent `cache clear` deleting the entry
+            # between the rglob walk and the stat call.
+            if str(self) in doomed:
+                raise FileNotFoundError(str(self))
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(type(paths[1]), "stat", racing_stat)
+        assert cache.disk_bytes() == survivor_bytes
+
+    def test_clear_with_vanishing_entries(self, tmp_path, monkeypatch):
+        cache = self._populated(tmp_path)
+        paths = cache._disk_objects()
+        doomed = {str(paths[0])}
+        original = type(paths[0]).unlink
+
+        def racing_unlink(self, **kwargs):
+            if str(self) in doomed:
+                raise FileNotFoundError(str(self))
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(type(paths[0]), "unlink", racing_unlink)
+        # The racer "deleted" one entry first: clear removes the other
+        # two and reports only what it actually deleted.
+        assert cache.clear() == 2
+
+    def test_counts_after_whole_tree_vanishes(self, tmp_path):
+        import shutil
+
+        cache = self._populated(tmp_path)
+        shutil.rmtree(tmp_path / "objects")
+        assert cache.disk_entries() == 0
+        assert cache.disk_bytes() == 0
+        assert cache.clear() == 0
+        stats = cache.stats()
+        assert stats["disk_entries"] == 0
+        assert stats["disk_bytes"] == 0
