@@ -1,0 +1,233 @@
+"""E15: daemon traffic replay — throughput and latency under admission.
+
+The serve daemon's pitch is that queueing changes *when* a request is
+answered, never *what* the answer is.  This experiment replays a fixed
+two-tenant request trace (two graphs × three algorithms, every solve
+requested twice) through an in-process :class:`ServeDaemon` twice:
+
+* **sequential** — one request in flight at a time: nothing is ever
+  refused, and every served record's deterministic part must be
+  byte-identical to the same requests through ``BatchEngine.run`` (the
+  ``repro-mpc batch`` path) — the daemon's central contract;
+* **burst** — eight submitters against a deliberately tiny queue bound:
+  admission control sheds load, and the contract under pressure is that
+  *every* submission gets exactly one response — served or a structured
+  refusal naming the limit hit, never a silent drop.
+
+The quantities of record are the counts (served / refused / executed /
+hits — all deterministic on the sequential replay); throughput and the
+p50/p95/p99 latency percentiles ride along as timing quantities, wired
+into the CI gate's drift-warning lane via :func:`ci_cell` exactly like
+the E13 kernel speedup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from benchmarks.bench_common import emit
+from repro.analysis.records import RunRecord
+from repro.analysis.tables import format_table
+from repro.core import registry
+from repro.serve import (
+    AdmissionPolicy,
+    BatchEngine,
+    ResultCache,
+    ServeDaemon,
+    drive_requests,
+)
+
+#: Two tenants interleaved round-robin across the trace, so per-tenant
+#: fairness and latency attribution are both exercised by every replay.
+TENANTS = ("alpha", "bravo")
+
+GRAPHS = {
+    "er-96": {"family": "gnp", "n": 96, "param": 8, "seed": 15},
+    "tree-160": {"family": "tree", "n": 160, "seed": 15},
+}
+ALGORITHMS = (registry.DET_RULING, registry.DET_LUBY, registry.DET_MATCHING)
+
+#: The burst replay's deliberately tiny admission bound: with eight
+#: submitters and one worker, the queue saturates and refusals happen.
+BURST_CONCURRENCY = 8
+BURST_MAX_QUEUE = 3
+
+
+def request_trace(copies: int = 2) -> List[dict]:
+    """The fixed replay trace: graphs × algorithms × copies, two tenants."""
+    requests: List[dict] = []
+    for graph_name, source in sorted(GRAPHS.items()):
+        for algorithm in ALGORITHMS:
+            for copy in range(copies):
+                tenant = TENANTS[len(requests) % len(TENANTS)]
+                requests.append({
+                    "id": f"{tenant}/{graph_name}/{algorithm}#{copy}",
+                    "tenant": tenant,
+                    "graph": dict(source),
+                    "algorithm": algorithm,
+                })
+    return requests
+
+
+def _strip_serve(records: List[dict]) -> List[dict]:
+    return [
+        {key: value for key, value in record.items() if key != "_serve"}
+        for record in records
+    ]
+
+
+def _batch_records(requests: List[dict]) -> List[dict]:
+    """The same trace through the batch path (tenant field stripped)."""
+    batch_requests = [
+        {key: value for key, value in request.items() if key != "tenant"}
+        for request in requests
+    ]
+    return BatchEngine(ResultCache()).run(batch_requests)
+
+
+def replay_once(
+    label: str,
+    *,
+    concurrency: int,
+    policy: Optional[AdmissionPolicy] = None,
+    workers: int = 1,
+) -> Tuple[List[dict], RunRecord, BatchEngine]:
+    """One fresh-daemon replay of the trace; returns records + a row."""
+    engine = BatchEngine(ResultCache())
+    daemon = ServeDaemon(engine, policy=policy, workers=workers)
+    requests = request_trace()
+    start = time.perf_counter()
+    records = asyncio.run(
+        drive_requests(daemon, requests, concurrency=concurrency)
+    )
+    wall = time.perf_counter() - start
+    counters = engine.trace.counters
+    latency = engine.trace.latency_summary()
+    total_ms = latency.get("total_ms", {})
+    row = RunRecord(
+        "e15_serve", label, "serve",
+        {
+            "requests": len(requests),
+            "served_ok": sum(
+                1 for r in records if r.get("status") == "ok"
+            ),
+            "refused": counters["refused"],
+            "executed": counters["executed"],
+            "hits": counters["cache_hit"],
+            "graph_loads": counters.get("graph_load", 0),
+        },
+    )
+    row.meta["wall_s"] = round(wall, 4)
+    row.meta["throughput_rps"] = round(len(requests) / max(wall, 1e-9), 2)
+    for percentile in ("p50", "p95", "p99"):
+        row.meta[f"{percentile}_ms"] = total_ms.get(percentile, 0.0)
+    return records, row, engine
+
+
+def run_serve_experiment():
+    requests = request_trace()
+    unique = len(requests) // 2
+
+    sequential_records, sequential, _ = replay_once(
+        "sequential", concurrency=1
+    )
+    # The daemon's central contract, asserted on every bench run: the
+    # sequential replay refuses nothing and its deterministic record
+    # parts are byte-identical to the batch path over the same trace.
+    assert sequential.get("refused") == 0
+    assert sequential.get("served_ok") == len(requests)
+    assert sequential.get("executed") == unique
+    assert sequential.get("hits") == unique, (
+        "every duplicate must be a warm cache hit, not a re-execution"
+    )
+    assert _strip_serve(sequential_records) == _strip_serve(
+        _batch_records(requests)
+    ), "served records must be bit-identical to the batch path"
+
+    burst_records, burst, burst_engine = replay_once(
+        "burst",
+        concurrency=BURST_CONCURRENCY,
+        policy=AdmissionPolicy(max_queue=BURST_MAX_QUEUE),
+    )
+    # Under pressure: every submission answered, refusals structured,
+    # and the queue bound never exceeded at any admission decision.
+    assert len(burst_records) == len(requests), (
+        "every submission must get a response — served or refused"
+    )
+    assert all(
+        record.get("status") in ("ok", "refused")
+        for record in burst_records
+    )
+    for record in burst_records:
+        if record.get("status") == "refused":
+            assert record.get("error_type") == "ServeError"
+            assert record["_serve"]["queue_depth"] <= BURST_MAX_QUEUE
+    assert burst.get("refused") == burst_engine.trace.counters["refused"]
+    assert burst.get("served_ok") + burst.get("refused") == len(requests)
+
+    for row in (sequential, burst):
+        for key in ("wall_s", "throughput_rps", "p50_ms", "p95_ms"):
+            row.fields[key] = row.meta[key]
+    return [sequential, burst]
+
+
+def ci_cell() -> Tuple[Dict[str, float], float]:
+    """The regression-gate cell: one sequential replay, batch-compared.
+
+    Exact quantities pin the daemon's serving contract (counts, member
+    checksum, bit-identity with the batch path); the latency
+    percentiles and throughput ride along under the gate's timing keys
+    (``serve_*``), drift-warned like ``kernel_speedup_x`` rather than
+    exact-matched — they measure the machine, not the model.
+    """
+    requests = request_trace()
+    records, row, engine = replay_once("ci", concurrency=1)
+    exact = {
+        "requests": len(requests),
+        "served_ok": row.get("served_ok"),
+        "refused": row.get("refused"),
+        "executed": row.get("executed"),
+        "hits": row.get("hits"),
+        "graph_loads": row.get("graph_loads"),
+        "size_checksum": sum(
+            len(record.get("members", ())) for record in records
+        ),
+        "records_match_batch": int(
+            _strip_serve(records)
+            == _strip_serve(_batch_records(requests))
+        ),
+        "serve_throughput_rps": row.meta["throughput_rps"],
+        "serve_p50_ms": row.meta["p50_ms"],
+        "serve_p95_ms": row.meta["p95_ms"],
+        "serve_p99_ms": row.meta["p99_ms"],
+    }
+    return exact, row.meta["wall_s"]
+
+
+def test_e15_serve(benchmark):
+    records = run_serve_experiment()
+    table = format_table(
+        records,
+        columns=[
+            "workload", "requests", "served_ok", "refused", "executed",
+            "hits", "throughput_rps", "p50_ms", "p95_ms", "wall_s",
+        ],
+        title="E15: serve daemon — sequential vs burst replay of a "
+        "two-tenant trace",
+    )
+    emit(
+        "e15_serve",
+        table + "\ncounts are the quantity of record; throughput and "
+        "latency measure the simulator host",
+    )
+
+    # Time the daemon's steady state: a warm sequential replay.
+    benchmark.pedantic(
+        lambda: replay_once("bench", concurrency=1), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    run_serve_experiment()

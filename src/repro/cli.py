@@ -13,6 +13,7 @@ Installed as ``repro-mpc``::
     repro-mpc batch --requests requests.jsonl --out results.jsonl \
         --cache-dir .repro-cache --jobs 4
     repro-mpc cache stats --cache-dir .repro-cache
+    repro-mpc serve --socket /tmp/repro.sock --cache-dir .repro-cache
 
 Every ``solve`` runs on the enforcing simulator and verifies its output;
 ``--json`` emits a machine-readable record instead of the text summary.
@@ -27,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.sweep import SweepSpec, failures, run_sweep
@@ -383,8 +385,8 @@ def cmd_batch(args) -> int:
         retries=args.retries,
         max_requests=args.max_requests,
     )
-    requests = read_requests(args.requests)
-    records = engine.run(requests)
+    requests, linenos = read_requests(args.requests, with_linenos=True)
+    records = engine.run(requests, linenos=linenos)
     if args.out:
         write_records(records, args.out)
     else:
@@ -411,6 +413,58 @@ def cmd_batch(args) -> int:
                 file=sys.stderr,
             )
         return 1
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        AdmissionPolicy,
+        BatchEngine,
+        ResultCache,
+        ServeDaemon,
+    )
+
+    cache = ResultCache(
+        memory_entries=args.cache_memory, disk_dir=args.cache_dir
+    )
+    # The daemon's per-request path always solves in process (that is
+    # what keeps the SessionFactory warm); concurrency comes from the
+    # daemon's worker threads, not run_cells fan-out.
+    engine = BatchEngine(
+        cache, retries=args.retries, graph_pool=args.graph_pool
+    )
+    daemon = ServeDaemon(
+        engine,
+        policy=AdmissionPolicy(
+            max_queue=args.max_queue,
+            max_inflight_words=args.max_inflight_words,
+        ),
+        workers=args.workers,
+    )
+    if args.socket:
+        socket_path = Path(args.socket)
+        socket_path.unlink(missing_ok=True)  # stale socket from a crash
+        print(f"serving on {socket_path}", file=sys.stderr)
+        try:
+            asyncio.run(daemon.serve_unix(str(socket_path)))
+        finally:
+            socket_path.unlink(missing_ok=True)
+    else:
+        asyncio.run(daemon.serve_stdio())
+    if args.trace_out:
+        engine.trace.write_jsonl(args.trace_out)
+    stats = daemon.stats()
+    counters = stats["counters"]
+    print(
+        f"serve done: served={stats['served']} "
+        f"refused={stats['refused']} | "
+        f"hits={counters.get('cache_hit', 0)} "
+        f"executed={counters.get('executed', 0)} "
+        f"failed={counters.get('failed', 0)}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -679,6 +733,52 @@ def make_parser() -> argparse.ArgumentParser:
         "as JSONL here",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent solve daemon (newline-delimited JSON "
+        "over a unix socket or stdio)",
+    )
+    p_serve.add_argument(
+        "--socket", default=None,
+        help="unix socket path (omit to serve on stdin/stdout)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result-cache directory (omit for memory-only)",
+    )
+    p_serve.add_argument(
+        "--cache-memory", type=int, default=256,
+        help="in-memory LRU tier size in entries (0 disables it)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads executing solves (default 1)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound on admitted-but-unfinished requests; "
+        "beyond it new requests are refused with a structured error",
+    )
+    p_serve.add_argument(
+        "--max-inflight-words", type=int, default=0,
+        help="admission bound on the summed estimated input words of "
+        "work in flight (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--graph-pool", type=int, default=64,
+        help="warm graph pool size (distinct sources kept loaded)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run attempts for a failing request (default 0)",
+    )
+    p_serve.add_argument(
+        "--trace-out", default=None,
+        help="write the service trace (events + per-request latency) "
+        "as JSONL here on exit",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect, clear, or pre-warm a result cache"

@@ -154,7 +154,31 @@ def shard_edge_list(
     if root is not None:
         os.makedirs(root, exist_ok=True)
     shard_dir = tempfile.mkdtemp(prefix="repro-ingest-", dir=root)
+    try:
+        return _ingest_into(
+            shard_dir, stream, owner_map, chunk_edges,
+            num_vertices, declared_edges,
+        )
+    except BaseException:
+        # Anything that aborts the ingest — a malformed line mid-file,
+        # a declared-count mismatch, a full disk, an interrupt — must
+        # not leak the spill directory we just created.  Success hands
+        # ownership to the returned ShardedGraph (whose cleanup() /
+        # context manager removes it).
+        shutil.rmtree(shard_dir, ignore_errors=True)
+        raise
 
+
+def _ingest_into(
+    shard_dir: str,
+    stream,
+    owner_map,
+    chunk_edges: int,
+    num_vertices: int,
+    declared_edges: int,
+) -> ShardedGraph:
+    """The ingest body; ``shard_edge_list`` owns spill-dir lifecycle."""
+    k = owner_map.num_machines
     spool_paths = [os.path.join(shard_dir, f"spool_{mid}.pkl") for mid in range(k)]
     spools: List[Optional[object]] = [None] * k
     buffers: List[List[Tuple[int, int]]] = [[] for _ in range(k)]
@@ -222,7 +246,6 @@ def shard_edge_list(
             pickle.dump(adj, handle, protocol=pickle.HIGHEST_PROTOCOL)
 
     if total_edges != declared_edges:
-        shutil.rmtree(shard_dir, ignore_errors=True)
         raise GraphError(
             f"declared m={declared_edges} but read {total_edges} edges"
         )

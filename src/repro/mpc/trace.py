@@ -37,9 +37,17 @@ members, rounds, and words (pinned by test).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+import math
+from typing import Any, Dict, List, Optional, Sequence
 
 SCHEMA_VERSION = 1
+
+
+def _nearest_rank(sorted_values: List[float], quantile: float) -> float:
+    """Nearest-rank percentile over an already-sorted, non-empty list."""
+    rank = max(1, math.ceil(quantile * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
 
 # Chrome trace events need strictly positive durations to render; a
 # superstep faster than the clock's resolution gets this floor (µs).
@@ -350,6 +358,15 @@ class ServiceTrace:
     Events carry a monotone sequence number instead of wall clock: the
     export participates in record-for-record comparisons between serial
     and parallel engine runs, which timing would break.
+
+    The serve *daemon* additionally needs per-request latency
+    attribution — how long a request sat in the admission queue versus
+    how long its solve ran — which is wall clock by definition.  Those
+    records live in a separate ``latencies`` list (exported as
+    ``type: "latency"`` lines between the events and the summary), so
+    the deterministic event stream stays byte-comparable while the
+    timing side channel rides alongside, mirroring the ``_serve`` /
+    ``_meta`` split the output records use.
     """
 
     #: Counter keys every summary reports (zero-initialised so the
@@ -362,10 +379,17 @@ class ServiceTrace:
         "dedup",
         "executed",
         "failed",
+        "refused",
     )
+
+    #: The per-request latency stages the daemon attributes: time spent
+    #: queued behind admission control, time executing the solve, and
+    #: the end-to-end total (queue + execute + scheduling overhead).
+    LATENCY_STAGES = ("queue_s", "execute_s", "total_s")
 
     def __init__(self) -> None:
         self.events: List[Dict[str, Any]] = []
+        self.latencies: List[Dict[str, Any]] = []
         self.counters: Dict[str, int] = {
             kind: 0 for kind in self.COUNTER_KINDS
         }
@@ -377,6 +401,58 @@ class ServiceTrace:
         self.counters[kind] = self.counters.get(kind, 0) + 1
         self.events.append({"type": kind, "seq": self._seq, **fields})
 
+    def record_latency(
+        self,
+        *,
+        id: object,
+        outcome: str,
+        queue_s: float,
+        execute_s: float,
+        total_s: float,
+        tenant: Optional[str] = None,
+    ) -> None:
+        """Attribute one served request's wall clock to its stages.
+
+        ``queue_s`` is admission-to-execution-start, ``execute_s`` the
+        solve itself, ``total_s`` admission-to-response.  Latency
+        records are kept apart from the deterministic event stream (see
+        the class docstring); ``outcome`` is the response status
+        (``ok`` / ``failed`` / ``invalid``), so percentiles can be
+        read per outcome.  Refusals are *not* latency records — they
+        are counted under ``refused`` and answered inline.
+        """
+        entry: Dict[str, Any] = {
+            "type": "latency",
+            "id": id,
+            "outcome": outcome,
+            "queue_s": round(queue_s, 6),
+            "execute_s": round(execute_s, 6),
+            "total_s": round(total_s, 6),
+        }
+        if tenant is not None:
+            entry["tenant"] = tenant
+        self.latencies.append(entry)
+
+    def latency_summary(self) -> Dict[str, Any]:
+        """Per-stage p50/p95/p99 latency (milliseconds) over all requests.
+
+        Percentiles use the nearest-rank method, so every reported
+        number is a latency that actually occurred.  Returns
+        ``{"count": 0}`` when nothing has been served yet.
+        """
+        summary: Dict[str, Any] = {"count": len(self.latencies)}
+        if not self.latencies:
+            return summary
+        for stage in self.LATENCY_STAGES:
+            values = sorted(entry[stage] for entry in self.latencies)
+            summary[stage.replace("_s", "_ms")] = {
+                f"p{percent}": round(
+                    1000.0 * _nearest_rank(values, percent / 100.0), 3
+                )
+                for percent in (50, 95, 99)
+            }
+        return summary
+
     def merge_counters(self, counters: Dict[str, int]) -> None:
         """Fold an external counter dict in (e.g. a cache's totals)."""
         for key, value in counters.items():
@@ -384,13 +460,16 @@ class ServiceTrace:
 
     def summary(self) -> Dict[str, Any]:
         """The closing summary record (also useful without an export)."""
-        return {"type": "summary", "events": len(self.events),
-                **dict(sorted(self.counters.items()))}
+        summary = {"type": "summary", "events": len(self.events),
+                   **dict(sorted(self.counters.items()))}
+        if self.latencies:
+            summary["latency_ms"] = self.latency_summary()
+        return summary
 
     def jsonl_lines(self) -> List[str]:
-        """The service trace as JSON lines: meta, events, summary."""
+        """The service trace as JSON lines: meta, events, latencies, summary."""
         meta = {"type": "meta", "schema": SCHEMA_VERSION, "layer": "serve"}
-        records = [meta, *self.events, self.summary()]
+        records = [meta, *self.events, *self.latencies, self.summary()]
         return [json.dumps(record, sort_keys=True) for record in records]
 
     def write_jsonl(self, path) -> None:

@@ -4,8 +4,10 @@
 turns one-shot solves into a *service*: a two-tier
 :class:`~repro.serve.cache.ResultCache` keyed by graph content and
 canonical solve parameters, and a :class:`~repro.serve.engine.BatchEngine`
-that dedups, caches, and fan-outs a JSONL request stream.  The CLI
-surfaces are ``repro-mpc batch`` and ``repro-mpc cache``.
+that dedups, caches, and fan-outs a JSONL request stream — plus a
+persistent :class:`~repro.serve.daemon.ServeDaemon` front end with
+admission control and per-tenant fairness.  The CLI surfaces are
+``repro-mpc batch``, ``repro-mpc cache``, and ``repro-mpc serve``.
 
 Caching is sound because every registered algorithm is deterministic in
 its semantic inputs (the repository's central bit-identity contract);
@@ -19,6 +21,13 @@ from repro.serve.cache import (
     payload_to_result,
     result_to_payload,
 )
+from repro.serve.daemon import (
+    AdmissionPolicy,
+    ServeDaemon,
+    drive_requests,
+    estimate_request_words,
+    replay_requests,
+)
 from repro.serve.engine import (
     BatchEngine,
     read_requests,
@@ -27,12 +36,17 @@ from repro.serve.engine import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
     "BatchEngine",
     "ResultCache",
+    "ServeDaemon",
     "cache_key",
+    "drive_requests",
+    "estimate_request_words",
     "payload_to_result",
     "read_requests",
     "records_to_lines",
+    "replay_requests",
     "result_to_payload",
     "write_records",
 ]

@@ -49,6 +49,8 @@ with the same semantics as the CLI's graph options.  Every field but
 from __future__ import annotations
 
 import json
+import os
+import threading
 from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -82,27 +84,43 @@ _REQUEST_KEYS = frozenset(
 _TIMING_KEYS = ("wall_time_s", "time_per_phase")
 
 
-def read_requests(path: Union[str, Path]) -> List[Dict[str, object]]:
-    """Parse a JSONL request file; malformed lines raise ServeError."""
+def read_requests(
+    path: Union[str, Path], *, with_linenos: bool = False
+) -> Union[
+    List[Dict[str, object]],
+    Tuple[List[Dict[str, object]], List[int]],
+]:
+    """Parse a JSONL request file; malformed lines raise ServeError.
+
+    The file is streamed line by line — a large batch file never has to
+    fit in memory as one string (the parsed requests themselves still
+    accumulate; the serve daemon avoids even that by reading its socket
+    stream one request at a time).  With ``with_linenos=True`` the
+    1-based line number of each request is returned alongside, so
+    errors detected later (e.g. duplicate ids) can name file positions.
+    """
     requests: List[Dict[str, object]] = []
-    for lineno, line in enumerate(
-        Path(path).read_text(encoding="utf-8").splitlines(), start=1
-    ):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ServeError(
-                f"{path}:{lineno}: request is not valid JSON: {exc}"
-            ) from exc
-        if not isinstance(data, dict):
-            raise ServeError(
-                f"{path}:{lineno}: request must be a JSON object, "
-                f"got {type(data).__name__}"
-            )
-        requests.append(data)
+    linenos: List[int] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ServeError(
+                    f"{path}:{lineno}: request is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(data, dict):
+                raise ServeError(
+                    f"{path}:{lineno}: request must be a JSON object, "
+                    f"got {type(data).__name__}"
+                )
+            requests.append(data)
+            linenos.append(lineno)
+    if with_linenos:
+        return requests, linenos
     return requests
 
 
@@ -114,10 +132,18 @@ def records_to_lines(records: List[Dict[str, object]]) -> List[str]:
 def write_records(
     records: List[Dict[str, object]], path: Union[str, Path]
 ) -> None:
-    """Write output records to a JSONL file."""
-    Path(path).write_text(
+    """Write output records to a JSONL file, atomically.
+
+    Same tmp-write-then-:func:`os.replace` pattern as the result
+    cache's disk tier: a crash mid-write leaves either the previous
+    file or the complete new one, never a torn half-batch.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(
         "\n".join(records_to_lines(records)) + "\n", encoding="utf-8"
     )
+    os.replace(tmp, target)
 
 
 def _load_graph(source: Dict[str, object]) -> Graph:
@@ -195,23 +221,36 @@ class BatchEngine:
         timeout: Optional[float] = None,
         retries: int = 0,
         max_requests: int = 10_000,
+        graph_pool: int = 64,
         trace: Optional[ServiceTrace] = None,
     ) -> None:
         if max_requests <= 0:
             raise ServeError(
                 f"max_requests must be positive, got {max_requests}"
             )
+        if graph_pool <= 0:
+            raise ServeError(
+                f"graph_pool must be positive, got {graph_pool}"
+            )
         self.cache = cache
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
         self.max_requests = max_requests
+        self.graph_pool = graph_pool
         self.trace = trace if trace is not None else ServiceTrace()
         # Warm per-graph artifacts only help when solves share a
         # process; isolated cells (jobs > 1 or a timeout) each run in
         # their own worker, exactly like run_cells' execution split.
         self._in_process = jobs <= 1 and timeout is None
         self._factory = SessionFactory()
+        # Warm graph pool: loaded graphs outlive a single batch, so a
+        # daemon serving the same source repeatedly loads it once.
+        # Insertion-ordered with FIFO eviction at ``graph_pool``.
+        self._graphs: Dict[str, Graph] = {}
+        # serve_request may run on daemon worker threads; the lock
+        # guards the shared pools, cache, and trace — never a solve.
+        self._lock = threading.RLock()
 
     # -- request normalisation ------------------------------------------
 
@@ -265,12 +304,81 @@ class BatchEngine:
         )
         return cache_key(graph.fingerprint(), params), None
 
+    def _check_duplicate_ids(
+        self,
+        normalized: List[Dict[str, object]],
+        linenos: Optional[List[int]],
+    ) -> None:
+        """Refuse batches whose requests share an id.
+
+        Output records, dedup resolution, and ``ServiceTrace`` events
+        are all keyed by ``id`` — two requests with the same explicit
+        id would be silently ambiguous everywhere downstream.  Named
+        by file line when the caller read the batch from a file, by
+        batch position otherwise.
+        """
+
+        def where(index: int) -> str:
+            if linenos is not None and index < len(linenos):
+                return f"line {linenos[index]}"
+            return f"request {index}"
+
+        first_index: Dict[str, int] = {}
+        for index, request in enumerate(normalized):
+            rid = str(request["id"])
+            if rid in first_index:
+                raise ServeError(
+                    f"duplicate request id {rid!r} "
+                    f"({where(first_index[rid])} and {where(index)}); "
+                    "ids must be unique within a batch"
+                )
+            first_index[rid] = index
+
+    def _get_graph(self, request: Dict[str, object]) -> Graph:
+        """Fetch a request's graph through the warm pool (load once)."""
+        source_key = str(request["source_key"])
+        graph = self._graphs.get(source_key)
+        if graph is None:
+            graph = _load_graph(request["source"])
+            self._graphs[source_key] = graph
+            self.trace.record(
+                "graph_load",
+                source=source_key,
+                fingerprint=graph.fingerprint(),
+            )
+            while len(self._graphs) > self.graph_pool:
+                evicted = next(iter(self._graphs))
+                del self._graphs[evicted]
+                self.trace.record("graph_evict", source=evicted)
+        return graph
+
+    @staticmethod
+    def _solve_params(request: Dict[str, object]) -> Dict[str, object]:
+        """The parameter dict :func:`_execute_request` consumes."""
+        return {
+            "id": request["id"],
+            "algorithm": request["algorithm"],
+            "beta": request["beta"],
+            "alpha": request["alpha"],
+            "regime": request["regime"],
+            "alpha_mem": request["alpha_mem"],
+            "seed": request["seed"],
+        }
+
     # -- the batch -------------------------------------------------------
 
     def run(
-        self, requests: List[Dict[str, object]]
+        self,
+        requests: List[Dict[str, object]],
+        *,
+        linenos: Optional[List[int]] = None,
     ) -> List[Dict[str, object]]:
-        """Serve ``requests``; returns output records in input order."""
+        """Serve ``requests``; returns output records in input order.
+
+        ``linenos`` (parallel to ``requests``, from
+        :func:`read_requests` with ``with_linenos=True``) lets
+        duplicate-id errors name source-file lines.
+        """
         if len(requests) > self.max_requests:
             raise ServeError(
                 f"batch of {len(requests)} requests exceeds "
@@ -281,18 +389,16 @@ class BatchEngine:
             self._normalize(data, index)
             for index, data in enumerate(requests)
         ]
+        self._check_duplicate_ids(normalized, linenos)
 
-        # One load per distinct graph source, shared by every request.
+        # One load per distinct graph source, shared by every request
+        # (and by later batches / served requests: the pool is warm).
         graphs: Dict[str, Graph] = {}
-        for request in normalized:
-            source_key = str(request["source_key"])
-            if source_key not in graphs:
-                graphs[source_key] = _load_graph(request["source"])
-                self.trace.record(
-                    "graph_load",
-                    source=source_key,
-                    fingerprint=graphs[source_key].fingerprint(),
-                )
+        with self._lock:
+            for request in normalized:
+                source_key = str(request["source_key"])
+                if source_key not in graphs:
+                    graphs[source_key] = self._get_graph(request)
 
         # Plan every request before executing anything: hit, miss
         # (first occurrence of a key), dedup (later occurrence), or
@@ -343,6 +449,84 @@ class BatchEngine:
 
         return [self._output_record(plan) for plan in plans]
 
+    # -- the per-request path (daemon hot path) --------------------------
+
+    def serve_request(
+        self, data: Dict[str, object], *, index: int = 0
+    ) -> Dict[str, object]:
+        """Serve one request through the warm pools; returns its record.
+
+        The reusable per-request execution path the serve daemon runs
+        on its worker threads: normalise, fetch the graph from the warm
+        pool, first-hop the result cache, and only then solve in
+        process with the warm :class:`SessionFactory`.  The returned
+        record is shaped exactly like a batch record (deterministic
+        part + ``_serve`` side channel), and for the same request its
+        deterministic part is byte-identical to the batch path's —
+        both resolve through the same cache key and the same runner.
+
+        Malformed requests (unknown fields, bad ``graph``) raise
+        :class:`ServeError`, mirroring the batch path; everything past
+        validation — an unloadable graph, an unknown algorithm, a solve
+        fault — becomes a structured failure record, so one bad request
+        can never take a daemon worker down.  Shared state (graph pool,
+        cache, trace) is mutated under the engine lock; the solve
+        itself runs outside it, so workers only serialise on
+        bookkeeping.
+        """
+        request = self._normalize(data, index)
+        plan: Dict[str, object] = {
+            "request": request, "key": None, "payload": None,
+            "error": None, "serve": {},
+        }
+        with self._lock:
+            try:
+                graph = self._get_graph(request)
+            except Exception as exc:  # unloadable source → failure record
+                plan["kind"] = "failed"
+                plan["error"] = (type(exc).__name__, str(exc))
+                self.trace.record(
+                    "failed", id=request["id"],
+                    error_type=type(exc).__name__,
+                )
+                return self._output_record(plan)
+            key, error = self._request_key(request, graph)
+            plan["key"] = key
+            if error is not None:
+                plan["kind"] = "failed"
+                plan["error"] = error
+                self.trace.record(
+                    "failed", id=request["id"], error_type=error[0]
+                )
+                return self._output_record(plan)
+            cached = self.cache.get(key)
+            if cached is not None:
+                plan["kind"] = "hit"
+                plan["payload"] = cached
+                self.trace.record("cache_hit", id=request["id"], key=key)
+                return self._output_record(plan)
+            self.trace.record("cache_miss", id=request["id"], key=key)
+        plan["kind"] = "miss"
+        try:
+            record = _execute_request(
+                graph, self._solve_params(request), factory=self._factory
+            )
+        except Exception as exc:
+            plan["error"] = (type(exc).__name__, str(exc))
+            with self._lock:
+                self.trace.record(
+                    "failed", id=request["id"], key=key,
+                    error_type=type(exc).__name__,
+                )
+            return self._output_record(plan)
+        payload = dict(record.fields)
+        plan["payload"] = payload
+        with self._lock:
+            self.cache.put(str(key), payload)
+            self.trace.record("executed", id=request["id"], key=key)
+            self.trace.record("cache_store", id=request["id"], key=key)
+        return self._output_record(plan)
+
     def _execute_misses(
         self, plans: List[Dict[str, object]], graphs: Dict[str, Graph]
     ) -> None:
@@ -357,15 +541,7 @@ class BatchEngine:
         cells = []
         for plan in misses:
             request = plan["request"]
-            params = {
-                "id": request["id"],
-                "algorithm": request["algorithm"],
-                "beta": request["beta"],
-                "alpha": request["alpha"],
-                "regime": request["regime"],
-                "alpha_mem": request["alpha_mem"],
-                "seed": request["seed"],
-            }
+            params = self._solve_params(request)
             cells.append(
                 Cell(
                     key=str(plan["key"]),

@@ -180,6 +180,68 @@ class TestShardEdgeList:
         assert sharded.read_shard(0) == {}
 
 
+class TestSpillDirLifecycle:
+    """An aborted ingest must never leak its ``repro-ingest-*`` dir.
+
+    Regression: ``shard_edge_list`` only removed the spill directory on
+    the declared-count-mismatch path; a raise mid-stream (malformed
+    line, interrupt, full disk) left the directory and its spool files
+    behind.  ``REPRO_SHARD_DIR`` makes the leak observable: every
+    spill dir lands under a root we fully control.
+    """
+
+    def _leftovers(self, root):
+        return sorted(p.name for p in root.glob("repro-ingest-*"))
+
+    def test_count_mismatch_cleans_up(self, tmp_path, monkeypatch):
+        root = tmp_path / "spill"
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(root))
+        path = _write(tmp_path, "3 3\n0 1\n1 2\n")
+        with pytest.raises(GraphError, match="declared m=3 but read 2"):
+            shard_edge_list(path, ModOwnerMap(3, 2))
+        assert self._leftovers(root) == []
+
+    def test_malformed_line_mid_stream_cleans_up(self, tmp_path, monkeypatch):
+        root = tmp_path / "spill"
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(root))
+        path = _write(tmp_path, "4 3\n0 1\n1 2x\n2 3\n")
+        with pytest.raises(GraphError, match="bad edge token"):
+            shard_edge_list(path, ModOwnerMap(4, 2))
+        assert self._leftovers(root) == []
+
+    def test_interrupt_mid_ingest_cleans_up(self, tmp_path, monkeypatch):
+        # KeyboardInterrupt is a BaseException: the cleanup must catch
+        # wider than Exception to cover operator interrupts.
+        root = tmp_path / "spill"
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(root))
+        path = _write(tmp_path, "4 2\n0 1\n2 3\n")
+        owner_map = ModOwnerMap(4, 2)
+        calls = []
+
+        class Interrupting:
+            num_vertices = owner_map.num_vertices
+            num_machines = owner_map.num_machines
+
+            def owner_of(self, v):
+                calls.append(v)
+                if len(calls) > 2:
+                    raise KeyboardInterrupt
+                return owner_map.owner_of(v)
+
+        with pytest.raises(KeyboardInterrupt):
+            shard_edge_list(path, Interrupting())
+        assert calls  # the ingest really was underway
+        assert self._leftovers(root) == []
+
+    def test_success_hands_dir_to_sharded_graph(self, tmp_path, monkeypatch):
+        root = tmp_path / "spill"
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(root))
+        path = _write(tmp_path, "3 2\n0 1\n1 2\n")
+        with shard_edge_list(path, ModOwnerMap(3, 2)):
+            assert len(self._leftovers(root)) == 1
+        assert self._leftovers(root) == []
+
+
 class TestReaderSingleMaterialization:
     def test_isolated_vertices_without_rebuild(self, tmp_path, monkeypatch):
         # Regression: the old reader padded isolated vertices by

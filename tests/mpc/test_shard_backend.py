@@ -259,3 +259,85 @@ class TestWiring:
             assert sim.backend.resident_machines_hint() is None
             sim.local(lambda m: None)
             assert sim.backend.resident_machines_hint() == 3
+
+
+class TestSpillDirLifecycle:
+    """Abnormal exits must not leak ``repro-shard-*`` spill dirs.
+
+    The guarantee under audit: the Simulator context manager calls
+    ``shutdown()`` on *any* exit — a solve raising mid-superstep, an
+    operator interrupt — and shutdown removes the backend-owned spill
+    directory, including when ``REPRO_SHARD_DIR`` roots it.
+    """
+
+    def _leftovers(self, root):
+        return sorted(p.name for p in root.glob("repro-shard-*"))
+
+    def _cfg(self, k=3):
+        return MPCConfig(num_machines=k, memory_words=4096)
+
+    def test_raising_solve_leaves_no_spill_dirs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(tmp_path))
+        graph = gen.cycle_graph(18)
+        with pytest.raises(RuntimeError, match="solver fault"):
+            with Simulator(
+                self._cfg(), backend=ShardBackend(num_shards=2)
+            ) as sim:
+                DistributedGraph.load(
+                    sim, graph, ModOwnerMap(graph.num_vertices, 3)
+                )
+                assert len(self._leftovers(tmp_path)) == 1  # spilled
+                raise RuntimeError("solver fault")
+        assert self._leftovers(tmp_path) == []
+
+    def test_raise_mid_superstep_cleans_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(tmp_path))
+
+        def faulting(machine):
+            raise RuntimeError("superstep fault")
+
+        with pytest.raises(RuntimeError, match="superstep fault"):
+            with Simulator(
+                self._cfg(), backend=ShardBackend(num_shards=2)
+            ) as sim:
+                sim.local(faulting)
+        assert self._leftovers(tmp_path) == []
+
+    def test_interrupt_cleans_up(self, tmp_path, monkeypatch):
+        # KeyboardInterrupt is a BaseException; the context manager's
+        # __exit__ still runs, so the spill dir must still go away.
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(tmp_path))
+
+        def interrupted(machine):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            with Simulator(
+                self._cfg(), backend=ShardBackend(num_shards=2)
+            ) as sim:
+                sim.local(interrupted)
+        assert self._leftovers(tmp_path) == []
+
+    def test_explicit_spill_dir_root_survives(self, tmp_path):
+        # Only the backend-created repro-shard-* subdir is removed; the
+        # user-provided root directory itself is never deleted.
+        root = tmp_path / "spool-root"
+        with pytest.raises(RuntimeError):
+            with Simulator(
+                self._cfg(),
+                backend=ShardBackend(num_shards=2, spill_dir=str(root)),
+            ) as sim:
+                sim.local(lambda m: m.store.__setitem__("x", 1))
+                raise RuntimeError("fault")
+        assert root.is_dir()
+        assert sorted(root.glob("repro-shard-*")) == []
+
+    def test_shutdown_is_idempotent_after_fault(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_DIR", str(tmp_path))
+        backend = ShardBackend(num_shards=2)
+        with pytest.raises(RuntimeError):
+            with Simulator(self._cfg(), backend=backend) as sim:
+                sim.local(lambda m: None)
+                raise RuntimeError("fault")
+        backend.shutdown()  # second shutdown must be a no-op
+        assert self._leftovers(tmp_path) == []

@@ -352,3 +352,162 @@ class TestCLI:
         assert lines[0]["layer"] == "serve"
         assert lines[-1]["type"] == "summary"
         assert lines[-1]["executed"] == 3
+
+
+class TestAtomicWrite:
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        write_records([{"id": "a", "status": "ok"}], out)
+        assert json.loads(out.read_text()) == {"id": "a", "status": "ok"}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_preserves_previous_file(self, tmp_path):
+        # Regression: write_records used a plain write_text — a crash
+        # mid-write left a torn, half-valid file.  With the atomic
+        # tmp-then-replace pattern the previous content survives any
+        # failure before the rename.
+        out = tmp_path / "out.jsonl"
+        write_records([{"id": "old"}], out)
+        with pytest.raises(TypeError):
+            write_records([{"id": object()}], out)  # unserialisable
+        assert json.loads(out.read_text()) == {"id": "old"}
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        write_records([{"id": "one"}], out)
+        write_records([{"id": "two"}, {"id": "three"}], out)
+        parsed = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert parsed == [{"id": "two"}, {"id": "three"}]
+
+
+class TestDuplicateIds:
+    def test_duplicate_explicit_ids_raise(self):
+        engine = BatchEngine(ResultCache())
+        requests = [
+            {"id": "x", "graph": dict(TREE)},
+            {"id": "x", "graph": dict(GNP)},
+        ]
+        with pytest.raises(
+            ServeError, match="duplicate request id 'x'"
+        ) as excinfo:
+            engine.run(requests)
+        assert "request 0 and request 1" in str(excinfo.value)
+        # The check fires before any work: no loads, no cache traffic.
+        assert engine.trace.counters.get("graph_load", 0) == 0
+        assert engine.trace.counters["cache_miss"] == 0
+
+    def test_duplicate_ids_name_file_lines(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            json.dumps({"id": "x", "graph": dict(TREE)})
+            + "\n\n"
+            + json.dumps({"id": "x", "graph": dict(GNP)})
+            + "\n"
+        )
+        requests, linenos = read_requests(path, with_linenos=True)
+        assert linenos == [1, 3]  # the blank line is skipped, not counted
+        engine = BatchEngine(ResultCache())
+        with pytest.raises(ServeError, match=r"line 1 and line 3"):
+            engine.run(requests, linenos=linenos)
+
+    def test_cli_batch_reports_duplicate_ids(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            json.dumps({"id": "dup", "graph": dict(TREE)}) + "\n"
+            + json.dumps({"id": "dup", "graph": dict(TREE)}) + "\n"
+        )
+        assert main(["batch", "--requests", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "duplicate request id 'dup'" in err
+        assert "line 1 and line 2" in err
+
+    def test_distinct_ids_still_dedup_by_key(self):
+        # Distinct ids with identical solve params remain a dedup —
+        # the id check must not break key-level dedup semantics.
+        engine = BatchEngine(ResultCache())
+        engine.run(_requests())
+        assert engine.trace.counters["dedup"] == 1
+
+
+class TestStreamingRead:
+    def test_file_is_streamed_not_slurped(self, tmp_path, monkeypatch):
+        # Regression: read_requests slurped the file via read_text.
+        # Pin the streaming implementation by making whole-file reads
+        # explode.
+        from pathlib import Path
+
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(req) for req in _requests()) + "\n"
+        )
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError("read_requests must stream, not slurp")
+
+        monkeypatch.setattr(Path, "read_text", boom)
+        assert read_requests(path) == _requests()
+
+    def test_error_messages_unchanged_by_streaming(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"id": "a"}\n\nnot json\n')
+        with pytest.raises(
+            ServeError, match=rf"{path}:3: request is not valid JSON"
+        ):
+            read_requests(path)
+        path.write_text('{"id": "a"}\n[1, 2]\n')
+        with pytest.raises(
+            ServeError,
+            match=rf"{path}:2: request must be a JSON object, got list",
+        ):
+            read_requests(path)
+
+
+class TestServeRequestPath:
+    def test_matches_batch_records(self):
+        batch = BatchEngine(ResultCache())
+        batch_records = batch.run(_requests())
+        served_engine = BatchEngine(ResultCache())
+        served = [
+            served_engine.serve_request(request, index=index)
+            for index, request in enumerate(_requests())
+        ]
+        assert _strip_serve(served) == _strip_serve(batch_records)
+
+    def test_request_b_is_hit_not_dedup(self):
+        # Sequential serving has no batch-level dedup window: the
+        # second identical request resolves through the cache instead,
+        # with an identical deterministic record either way.
+        engine = BatchEngine(ResultCache())
+        for index, request in enumerate(_requests()):
+            engine.serve_request(request, index=index)
+        assert engine.trace.counters["executed"] == 3
+        assert engine.trace.counters["cache_hit"] == 1
+        assert engine.trace.counters["dedup"] == 0
+
+    def test_unknown_algorithm_is_failure_record(self):
+        engine = BatchEngine(ResultCache())
+        record = engine.serve_request(
+            {"id": "x", "graph": dict(TREE), "algorithm": "nope"}
+        )
+        assert record["status"] == "failed"
+        assert "nope" in record["error"]
+
+    def test_unknown_fields_raise_like_batch(self):
+        engine = BatchEngine(ResultCache())
+        with pytest.raises(ServeError, match="unknown fields"):
+            engine.serve_request(
+                {"id": "x", "graph": dict(TREE), "bogus": 1}
+            )
+
+    def test_graph_pool_eviction(self):
+        engine = BatchEngine(ResultCache(), graph_pool=1)
+        engine.serve_request({"id": "a", "graph": dict(TREE)})
+        engine.serve_request({"id": "b", "graph": dict(GNP)})
+        engine.serve_request({"id": "c", "graph": dict(TREE), "beta": 3})
+        # Pool of one: TREE was evicted by GNP and reloaded for "c".
+        assert engine.trace.counters["graph_load"] == 3
+        assert engine.trace.counters["graph_evict"] == 2
