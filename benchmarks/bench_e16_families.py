@@ -1,0 +1,119 @@
+"""E16: solver-family head-to-head on the phase-program framework.
+
+Claim exhibited: the degree-class-decomposition family reaches a
+(2, 2)-ruling set in rounds governed by its doubly-logarithmic claimed
+bound, staying flat where the per-level sparsify-and-gather engine's
+round count tracks log Δ — and both families run as phase programs on
+the same session machinery, so the comparison is apples-to-apples
+(identical budget enforcement, identical metrics).
+
+Workloads deliberately spread the maximum degree across three orders of
+magnitude (grid ≈ 4 up to star ≈ n) because Δ, not n, is the axis the
+new family's round bound improves on.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_common import algorithm_axis, emit, run_experiment
+from repro.analysis.records import RunRecord, record_from_result
+from repro.analysis.sweep import SweepCell, SweepSpec
+from repro.analysis.tables import format_table
+from repro.core import registry
+from repro.core.pipeline import solve_ruling_set
+from repro.core.registry import GP_RULING, MPC_FAMILY, RULING_SET
+from repro.core.verify import check_ruling_set
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+WORKLOADS = {
+    "grid-16x16": lambda: gen.grid_graph(16, 16),
+    "er-256": lambda: gen.gnp_random_graph(256, 16, 256, seed=16),
+    "power-law-256": lambda: gen.chung_lu_power_law(256, seed=16),
+    "regular-24": lambda: gen.regular_graph(256, 24),
+    "star-256": lambda: gen.star_graph(256),
+}
+
+# Every MPC ruling-set family in the registry, the new one included.
+ALGORITHMS = algorithm_axis(family=MPC_FAMILY, problem=RULING_SET)
+
+
+def families_cell(graph: Graph, cell: SweepCell, extra) -> RunRecord:
+    """One verified solve plus the family's claimed-round headroom."""
+    result = solve_ruling_set(
+        graph, algorithm=cell.algorithm, beta=cell.beta, regime=cell.regime,
+        seed=cell.seed,
+    )
+    measured = check_ruling_set(graph, result.members)
+    assert measured.measured_beta <= result.beta
+    fields = dict(extra)
+    fields["measured_beta"] = measured.measured_beta
+    spec = registry.get_algorithm(cell.algorithm)
+    if spec.claimed_rounds is not None:
+        bound = spec.claimed_rounds(graph, 2, cell.beta)
+        assert result.rounds <= bound, (
+            f"{cell.algorithm} used {result.rounds} rounds, claimed "
+            f"bound {bound}"
+        )
+        fields["claimed_round_bound"] = bound
+    return record_from_result(cell.experiment, cell.workload, result, fields)
+
+
+def ci_cell():
+    """The regression-gate cell: the new family on the E16 ER workload.
+
+    Everything returned is exact by the determinism contract: the round
+    count, the communicated words, and the membership itself (as size +
+    order-weighted checksum, so a permuted or substituted set with the
+    same cardinality still trips the gate).
+    """
+    graph = WORKLOADS["er-256"]()
+    result = solve_ruling_set(graph, algorithm=GP_RULING, regime="sublinear")
+    measured = check_ruling_set(graph, result.members)
+    exact = {
+        "rounds": result.rounds,
+        "total_words": result.metrics["total_words"],
+        "total_messages": result.metrics["total_messages"],
+        "size": result.size,
+        "members_checksum": sum(
+            (i + 1) * v for i, v in enumerate(sorted(result.members))
+        ),
+        "measured_beta": measured.measured_beta,
+        "classes": result.metrics["alg_classes"],
+    }
+    return exact, result.wall_time_s
+
+
+def test_e16_families(benchmark):
+    spec = SweepSpec(
+        experiment="e16_families",
+        workloads=WORKLOADS,
+        algorithms=ALGORITHMS,
+        beta=2,
+        regime="sublinear",
+        cell_runner=families_cell,
+    )
+    records = run_experiment(spec)
+    table = format_table(
+        records,
+        columns=[
+            "workload", "algorithm", "n", "max_degree", "rounds",
+            "claimed_round_bound", "size", "measured_beta",
+        ],
+        title="E16: solver families head-to-head "
+        "(phase programs, sublinear regime, beta=2)",
+    )
+    emit("e16_families", table)
+
+    # The new family's headline: its claimed (2, 2) holds everywhere.
+    gp_rows = [r for r in records if r.algorithm == GP_RULING]
+    assert gp_rows, "new family missing from the sweep axis"
+    for row in gp_rows:
+        assert row.get("beta_claimed") == 2
+        assert row.get("measured_beta") <= 2
+
+    graph = WORKLOADS["er-256"]()
+    benchmark.pedantic(
+        lambda: solve_ruling_set(graph, algorithm=GP_RULING),
+        rounds=1,
+        iterations=1,
+    )

@@ -2,8 +2,9 @@
 
 Runs a small fixed set of cells — the E1 smallest row, an E10-style
 chunk ablation at n ≤ 512, the E12 service round-trip, the E13 kernel
-head-to-head, the E14 streamed out-of-core solve, and the E15 daemon
-traffic replay — and compares them against the checked-in baseline
+head-to-head, the E14 streamed out-of-core solve, the E15 daemon
+traffic replay, and the E16 degree-class-family solve — and compares
+them against the checked-in baseline
 ``benchmarks/results/ci_baseline.json``:
 
 * **model quantities** (rounds, words, sizes) must match the baseline
@@ -219,6 +220,19 @@ def run_e15_serve() -> Measurement:
     return ci_cell()
 
 
+def run_e16_families() -> Measurement:
+    """E16's gate cell: the degree-class family on the ER workload.
+
+    Exact members (size + order-weighted checksum), rounds, and words —
+    the new family is deterministic end to end, so any drift here is a
+    real behaviour change in the family or the phase-program machinery
+    underneath it.
+    """
+    from benchmarks.bench_e16_families import ci_cell
+
+    return ci_cell()
+
+
 CELLS = {
     "e1_small_det_ruling": partial(run_e1_small, DET_RULING),
     "e1_small_det_luby": partial(run_e1_small, DET_LUBY),
@@ -228,6 +242,7 @@ CELLS = {
     "e13_kernel_speedup": run_e13_kernel,
     "e14_shard_scale": run_e14_shard,
     "e15_serve_replay": run_e15_serve,
+    "e16_families": run_e16_families,
 }
 
 

@@ -523,7 +523,7 @@ def make_parser() -> argparse.ArgumentParser:
         # driver, whose unknown-name error also enumerates the registry).
         parser.add_argument(
             "--algorithm", default=registry.DET_RULING,
-            help=registry.help_text(problem=registry.RULING_SET),
+            help=registry.help_text(problem=registry.RULING_SET, rounds=True),
         )
         parser.add_argument("--beta", type=int, default=2)
         parser.add_argument("--alpha", type=int, default=2)
@@ -602,7 +602,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--randomized", action="store_true")
     p_match.add_argument(
         "--algorithm", default=None,
-        help=registry.help_text(problem=registry.MATCHING)
+        help=registry.help_text(problem=registry.MATCHING, rounds=True)
         + " (default: picked from --randomized)",
     )
     p_match.add_argument(

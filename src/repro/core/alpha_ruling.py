@@ -16,20 +16,92 @@ in ``G``, and a set that β-dominates ``G^{α-1}`` dominates ``G`` within
 
 This module is an *extension* beyond the brief announcement's headline
 (recorded in DESIGN.md); its guarantee is verified like everything else,
-by BFS on the original graph.
+by BFS on the original graph.  The composition is a phase program: an
+``alpha-exponentiation`` phase followed by the ruling engine embedded as
+a :class:`~repro.core.program.Subprogram`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.core.det_ruling import det_ruling_set
+from repro.core.det_ruling import ruling_program
 from repro.core.exponentiation import power_graph_adjacency
+from repro.core.program import (
+    Phase,
+    ProgramContext,
+    Subprogram,
+    SuperstepProgram,
+)
 from repro.errors import AlgorithmError
 from repro.mpc.graph_store import ADJ, DistributedGraph
 from repro.mpc.machine import Machine
 
 ORIGINAL_ADJ = "alpha_original_adj"
+
+
+def alpha_program(
+    alpha: int,
+    beta: int = 2,
+    in_set_key: str = "alpha_rs_in_set",
+    chooser=None,
+    luby_chooser=None,
+    luby_allow_stalls: int = 0,
+    power_adjacency: Optional[Dict[int, Tuple[int, ...]]] = None,
+) -> SuperstepProgram:
+    """The exponentiation reduction as a phase program.
+
+    Requires ``alpha >= 2`` and ``beta >= 2``.  For α = 2 the reduction
+    is the identity, so the ruling engine's own program is returned
+    unchanged; for α > 2 it is wrapped behind the
+    ``alpha-exponentiation`` phase that swaps the power adjacency in
+    under ``ADJ`` (preserving the original under ``ORIGINAL_ADJ``).
+    """
+    if alpha < 2:
+        raise AlgorithmError(f"alpha must be >= 2, got {alpha}")
+    if beta < 2:
+        raise AlgorithmError(f"beta must be >= 2, got {beta}")
+    engine = ruling_program(
+        beta=beta, in_set_key=in_set_key,
+        chooser=chooser, luby_chooser=luby_chooser,
+        luby_allow_stalls=luby_allow_stalls,
+    )
+    if alpha == 2:
+        return engine
+
+    def exponentiate(ctx: ProgramContext) -> None:
+        dg, sim = ctx.dg, ctx.sim
+        if power_adjacency is None:
+            power_graph_adjacency(dg, alpha - 1, out_adj_key="alpha_power_adj")
+
+            def swap_in_power(machine: Machine) -> None:
+                machine.store[ORIGINAL_ADJ] = machine.store[ADJ]
+                machine.store[ADJ] = machine.store.pop("alpha_power_adj")
+                machine.store.pop("exp_balls", None)
+
+            sim.local(swap_in_power)
+        else:
+
+            def install_prebuilt(machine: Machine) -> None:
+                adj = machine.store[ADJ]
+                machine.store[ORIGINAL_ADJ] = adj
+                machine.store[ADJ] = {
+                    v: tuple(power_adjacency.get(v, ())) for v in adj
+                }
+
+            sim.local(install_prebuilt)
+
+    return SuperstepProgram(
+        name="power-graph",
+        steps=(
+            Phase(
+                exponentiate,
+                name="alpha-exponentiation",
+                keys=(ORIGINAL_ADJ,),
+            ),
+            Subprogram(engine),
+        ),
+    )
 
 
 def det_alpha_ruling_set(
@@ -60,44 +132,18 @@ def det_alpha_ruling_set(
     When ``None`` (direct engine callers), the in-model doubling
     primitive builds it, pricing the ``O(log α)`` exponentiation rounds
     — E9 measures that path explicitly.
+
+    This is a thin wrapper over :func:`alpha_program`.
     """
-    if alpha < 2:
-        raise AlgorithmError(f"alpha must be >= 2, got {alpha}")
-    if beta < 2:
-        raise AlgorithmError(f"beta must be >= 2, got {beta}")
-    sim = dg.sim
-
-    if alpha == 2:
-        counters = det_ruling_set(
-            dg, beta=beta, in_set_key=in_set_key,
-            chooser=chooser, luby_chooser=luby_chooser,
-            luby_allow_stalls=luby_allow_stalls,
-        )
-        return beta, counters
-
-    sim.begin_phase("alpha-exponentiation")
-    if power_adjacency is None:
-        power_graph_adjacency(dg, alpha - 1, out_adj_key="alpha_power_adj")
-
-        def swap_in_power(machine: Machine) -> None:
-            machine.store[ORIGINAL_ADJ] = machine.store[ADJ]
-            machine.store[ADJ] = machine.store.pop("alpha_power_adj")
-            machine.store.pop("exp_balls", None)
-
-        sim.local(swap_in_power)
-    else:
-
-        def install_prebuilt(machine: Machine) -> None:
-            adj = machine.store[ADJ]
-            machine.store[ORIGINAL_ADJ] = adj
-            machine.store[ADJ] = {
-                v: tuple(power_adjacency.get(v, ())) for v in adj
-            }
-
-        sim.local(install_prebuilt)
-    counters = det_ruling_set(
-        dg, beta=beta, in_set_key=in_set_key,
-        chooser=chooser, luby_chooser=luby_chooser,
+    program = alpha_program(
+        alpha,
+        beta=beta,
+        in_set_key=in_set_key,
+        chooser=chooser,
+        luby_chooser=luby_chooser,
         luby_allow_stalls=luby_allow_stalls,
+        power_adjacency=power_adjacency,
     )
-    return beta * (alpha - 1), counters
+    counters = program.run(ProgramContext(dg))
+    claimed = beta if alpha == 2 else beta * (alpha - 1)
+    return claimed, counters

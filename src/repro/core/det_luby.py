@@ -36,6 +36,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.program import (
+    CONTINUE,
+    EXIT,
+    Loop,
+    Phase,
+    ProgramContext,
+    SuperstepProgram,
+)
 from repro.derand.estimator import ThresholdEstimator
 from repro.derand.family import Seed
 from repro.derand.seed_search import distributed_choose_seed
@@ -136,53 +144,57 @@ def modulus_for(num_vertices: int) -> int:
     return next_prime(4 * max(2, num_vertices))
 
 
-def det_luby_mis(
-    dg: DistributedGraph,
+def luby_program(
     adj_key: str = ADJ,
     in_set_key: str = IN_SET,
     chooser: Optional[SeedChooser] = None,
     max_phases: int = 10_000,
     allow_stalls: int = 0,
     trace: Optional[List[Tuple[int, int, int]]] = None,
-) -> Dict[str, int]:
-    """Run (de)randomized Luby MIS on the adjacency under ``adj_key``.
+) -> SuperstepProgram:
+    """The (de)randomized Luby MIS engine as a phase program.
 
-    MIS members accumulate per machine in ``store[in_set_key]`` (a set of
-    owned member ids); collect them with ``dg.collect_marked(in_set_key)``.
-    Every vertex active under ``adj_key`` at entry is removed by exit.
-
-    ``allow_stalls`` is the number of *consecutive* zero-progress phases
-    tolerated: 0 for the deterministic chooser (its estimator guarantee
-    makes a stall a bug), a small positive number for randomized seed
-    choosers (an unlucky draw is legal there).  Pass a list as ``trace``
-    to receive ``(phase, active_vertices, active_edges)`` tuples (the E3
-    decay series; tracing costs one extra reduction per phase).  Returns
-    a counter dict.
+    Four phases per iteration: an unlabelled measurement step (active
+    count, optional E3 trace, termination), ``luby-phase`` (isolated
+    absorption + degree exchange), ``luby-seed-search`` (estimator terms
+    + seed selection), and ``luby-commit`` (winner set + ``N[C]``
+    removal).  :func:`det_luby_mis` runs this program directly; the
+    session executes it via the registry's program factory.
     """
-    sim = dg.sim
-    p = modulus_for(dg.num_vertices)
-    choose = chooser if chooser is not None else conditional_expectation_chooser()
-    counters = {"phases": 0, "seed_candidates": 0, "isolated_joins": 0}
-    stalls = 0
+    choose = (
+        chooser if chooser is not None else conditional_expectation_chooser()
+    )
 
-    def ensure_set(machine: Machine) -> None:
-        if in_set_key not in machine.store:
-            machine.store[in_set_key] = set()
+    def setup(ctx: ProgramContext) -> None:
+        ctx.state["luby_p"] = modulus_for(ctx.dg.num_vertices)
+        ctx.state["luby_stalls"] = 0
 
-    sim.local(ensure_set)
+        def ensure_set(machine: Machine) -> None:
+            if in_set_key not in machine.store:
+                machine.store[in_set_key] = set()
 
-    for _ in range(max_phases):
+        ctx.sim.local(ensure_set)
+
+    def measure(ctx: ProgramContext):
+        dg = ctx.dg
         active = dg.count_active(adj_key)
         if trace is not None:
             # (phase index, active vertices, active edges) — the E3 decay
             # series; the extra edge reduction is only paid when tracing.
             trace.append(
-                (counters["phases"], active, dg.count_active_edges(adj_key))
+                (
+                    ctx.counters["phases"],
+                    active,
+                    dg.count_active_edges(adj_key),
+                )
             )
         if active == 0:
-            return counters
-        counters["phases"] += 1
-        sim.begin_phase("luby-phase")
+            return EXIT
+        ctx.counters["phases"] += 1
+        return None
+
+    def mark_round(ctx: ProgramContext):
+        dg, sim = ctx.dg, ctx.sim
 
         # --- isolated vertices join immediately -----------------------
         def absorb_isolated(machine: Machine) -> None:
@@ -194,24 +206,28 @@ def det_luby_mis(
             machine.store["_luby_isolated"] = len(isolated)
 
         sim.local(absorb_isolated)
-        counters["isolated_joins"] += sum(
+        ctx.counters["isolated_joins"] += sum(
             sim.harvest(lambda m: m.store.pop("_luby_isolated"))
         )
         max_deg = dg.max_active_degree(adj_key)
         if max_deg == 0:
-            continue  # everything left was isolated; loop re-counts
+            return CONTINUE  # everything left was isolated; loop re-counts
 
         # --- neighbours' degrees (one round) ---------------------------
         def set_degrees(machine: Machine) -> None:
             adj = machine.store[adj_key]
-            machine.store["_luby_deg"] = {v: len(nbrs) for v, nbrs in adj.items()}
+            machine.store["_luby_deg"] = {
+                v: len(nbrs) for v, nbrs in adj.items()
+            }
 
         sim.local(set_degrees)
         dg.push_values("_luby_deg", out_key="_luby_nbrdeg", adj_key=adj_key)
+        return None
+
+    def seed_search(ctx: ProgramContext) -> None:
+        p = ctx.state["luby_p"]
 
         # --- build estimator terms (local) -----------------------------
-        sim.begin_phase("luby-seed-search")
-
         def build_terms(machine: Machine) -> None:
             degrees = machine.store.pop("_luby_deg")
             nbrdeg = machine.store.pop("_luby_nbrdeg")
@@ -230,14 +246,17 @@ def det_luby_mis(
             machine.store[VTERMS] = vterms
             machine.store[PTERMS] = pterms
 
-        sim.local(build_terms)
+        ctx.sim.local(build_terms)
 
         # --- select the seed -------------------------------------------
-        seed, scanned = choose(sim, p)
-        counters["seed_candidates"] += scanned
+        seed, scanned = choose(ctx.sim, p)
+        ctx.counters["seed_candidates"] += scanned
+        ctx.state["luby_seed"] = seed
 
-        # --- compute the winner set C locally --------------------------
-        sim.begin_phase("luby-commit")
+    def commit(ctx: ProgramContext) -> None:
+        dg, sim = ctx.dg, ctx.sim
+        p = ctx.state["luby_p"]
+        seed = ctx.state.pop("luby_seed")
 
         np_mod = (
             numpy_or_none()
@@ -245,6 +264,7 @@ def det_luby_mis(
             else None
         )
 
+        # --- compute the winner set C locally --------------------------
         def decide_winners(machine: Machine) -> None:
             vterms = machine.store.pop(VTERMS)
             pterms = machine.store.pop(PTERMS)
@@ -278,15 +298,83 @@ def det_luby_mis(
             sim.harvest(lambda m: m.store.pop("_luby_progress"))
         )
         if progress == 0:
-            stalls += 1
-            if stalls > allow_stalls:
+            ctx.state["luby_stalls"] += 1
+            if ctx.state["luby_stalls"] > allow_stalls:
                 raise AlgorithmError(
                     "Luby phase removed nothing beyond the tolerated "
                     "stalls — for the deterministic chooser this means "
                     "the estimator guarantee was violated (bug)"
                 )
         else:
-            stalls = 0
+            ctx.state["luby_stalls"] = 0
         dg.deactivate("_luby_removed", adj_key=adj_key)
 
-    raise AlgorithmError(f"Luby MIS did not finish in {max_phases} phases")
+    return SuperstepProgram(
+        name="luby",
+        counters=("phases", "seed_candidates", "isolated_joins"),
+        steps=(
+            Phase(setup, keys=(in_set_key,)),
+            Loop(
+                steps=(
+                    Phase(measure),
+                    Phase(
+                        mark_round,
+                        name="luby-phase",
+                        keys=("_luby_deg", "_luby_nbrdeg"),
+                    ),
+                    Phase(
+                        seed_search,
+                        name="luby-seed-search",
+                        keys=(VTERMS, PTERMS),
+                    ),
+                    Phase(
+                        commit,
+                        name="luby-commit",
+                        keys=("_luby_winners", "_luby_removed"),
+                    ),
+                ),
+                limit=lambda ctx: max_phases,
+                exhausted=lambda ctx: AlgorithmError(
+                    f"Luby MIS did not finish in {max_phases} phases"
+                ),
+            ),
+        ),
+    )
+
+
+def det_luby_mis(
+    dg: DistributedGraph,
+    adj_key: str = ADJ,
+    in_set_key: str = IN_SET,
+    chooser: Optional[SeedChooser] = None,
+    max_phases: int = 10_000,
+    allow_stalls: int = 0,
+    trace: Optional[List[Tuple[int, int, int]]] = None,
+) -> Dict[str, int]:
+    """Run (de)randomized Luby MIS on the adjacency under ``adj_key``.
+
+    MIS members accumulate per machine in ``store[in_set_key]`` (a set of
+    owned member ids); collect them with ``dg.collect_marked(in_set_key)``.
+    Every vertex active under ``adj_key`` at entry is removed by exit.
+
+    ``allow_stalls`` is the number of *consecutive* zero-progress phases
+    tolerated: 0 for the deterministic chooser (its estimator guarantee
+    makes a stall a bug), a small positive number for randomized seed
+    choosers (an unlucky draw is legal there).  Pass a list as ``trace``
+    to receive ``(phase, active_vertices, active_edges)`` tuples (the E3
+    decay series; tracing costs one extra reduction per phase).  Returns
+    a counter dict.
+
+    This is a thin wrapper: the whole engine lives in
+    :func:`luby_program`, executed here against a fresh
+    :class:`~repro.core.program.ProgramContext`.
+    """
+    program = luby_program(
+        adj_key=adj_key,
+        in_set_key=in_set_key,
+        chooser=chooser,
+        max_phases=max_phases,
+        allow_stalls=allow_stalls,
+        trace=trace,
+    )
+    return program.run(ProgramContext(dg))

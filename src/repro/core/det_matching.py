@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.det_luby import det_luby_mis
+from repro.core.program import Phase, ProgramContext, SuperstepProgram
 from repro.errors import AlgorithmError
 from repro.graph.graph import Graph
 from repro.mpc.graph_store import ADJ, DistributedGraph
@@ -192,6 +193,55 @@ def build_distributed_line_graph(dg: DistributedGraph) -> DistributedGraph:
     return DistributedGraph(sim, line_owner, total_edges)
 
 
+def matching_program(
+    chooser=None,
+    allow_stalls: int = 0,
+) -> SuperstepProgram:
+    """Maximal matching as a phase program: Luby MIS on the line graph.
+
+    Three unlabelled steps (the construction and harvest carry no trace
+    label of their own, exactly as before the framework; the embedded
+    Luby engine emits its usual phase labels): build the distributed
+    line graph, solve MIS on it, record the matched endpoint pairs.  The
+    matching lands in the context's ``matching`` payload slot.
+    """
+
+    def build(ctx: ProgramContext) -> None:
+        ctx.state["lg_graph"] = build_distributed_line_graph(ctx.dg)
+
+    def solve(ctx: ProgramContext) -> None:
+        sub = det_luby_mis(
+            ctx.state["lg_graph"],
+            adj_key=LG_ADJ,
+            in_set_key="lg_in_set",
+            chooser=chooser,
+            allow_stalls=allow_stalls,
+        )
+        ctx.counters.update(sub)
+
+    def record(ctx: ProgramContext) -> None:
+        def record_matches(machine: Machine) -> None:
+            table = machine.store[EDGE_TABLE]
+            chosen = machine.store.pop("lg_in_set")
+            machine.store[MATCHED] = sorted(table[eid] for eid in chosen)
+
+        ctx.sim.local(record_matches)
+        matching: List[Tuple[int, int]] = []
+        for chunk in ctx.sim.harvest(lambda m: m.store[MATCHED]):
+            matching.extend(chunk)
+        ctx.matching = sorted(matching)
+
+    return SuperstepProgram(
+        name="line-graph",
+        counters=("phases", "seed_candidates", "isolated_joins"),
+        steps=(
+            Phase(build, keys=(LG_ADJ, EDGE_TABLE)),
+            Phase(solve, keys=("lg_in_set",)),
+            Phase(record, keys=(MATCHED,)),
+        ),
+    )
+
+
 def det_maximal_matching(
     dg: DistributedGraph,
     chooser=None,
@@ -203,26 +253,13 @@ def det_maximal_matching(
     also flagged per machine under ``MATCHED``.  ``chooser`` /
     ``allow_stalls`` forward to the Luby engine (pass a random chooser
     and positive stalls for the randomized baseline).
+
+    This is a thin wrapper over :func:`matching_program`.
     """
-    line_dg = build_distributed_line_graph(dg)
-    counters = det_luby_mis(
-        line_dg,
-        adj_key=LG_ADJ,
-        in_set_key="lg_in_set",
-        chooser=chooser,
-        allow_stalls=allow_stalls,
-    )
-
-    def record_matches(machine: Machine) -> None:
-        table = machine.store[EDGE_TABLE]
-        chosen = machine.store.pop("lg_in_set")
-        machine.store[MATCHED] = sorted(table[eid] for eid in chosen)
-
-    dg.sim.local(record_matches)
-    matching: List[Tuple[int, int]] = []
-    for chunk in dg.sim.harvest(lambda m: m.store[MATCHED]):
-        matching.extend(chunk)
-    return sorted(matching), counters
+    program = matching_program(chooser=chooser, allow_stalls=allow_stalls)
+    ctx = ProgramContext(dg)
+    counters = program.run(ctx)
+    return ctx.matching, counters
 
 
 def solve_matching(

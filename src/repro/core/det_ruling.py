@@ -34,21 +34,39 @@ running Luby when its degree is tiny.  Correctness — 2-independence and
 targets only govern progress speed.  The randomized baseline runs the
 same engine with a draw-don't-scan seed chooser, so benchmark deltas
 isolate exactly the derandomization cost.
+
+The engine is expressed as a :class:`~repro.core.program.
+SuperstepProgram` (see :func:`ruling_program`); the shared superstep
+building blocks (gather-and-greedy, removal wave, layer accounting) live
+in :mod:`repro.core.engine_ops`.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.det_luby import det_luby_mis, modulus_for
-from repro.core.greedy import greedy_mis_on_edges
+from repro.core.engine_ops import (
+    adjacency_words,
+    deactivate_all,
+    gather_and_greedy,
+    merge_members,
+    removal_wave,
+    sampling_rate,
+)
+from repro.core.program import (
+    EXIT,
+    Branch,
+    Loop,
+    Phase,
+    ProgramContext,
+    SuperstepProgram,
+)
 from repro.derand.family import Seed, threshold_for_rate
 from repro.derand.seed_search import distributed_scan_seeds
 from repro.errors import AlgorithmError
 from repro.mpc.graph_store import ADJ, DistributedGraph
 from repro.mpc.machine import Machine
-from repro.mpc.message import Message
 from repro.mpc.primitives.aggregate import reduce_scalar
 from repro.mpc.state_layout import (
     KERNEL_NUMPY,
@@ -61,6 +79,10 @@ from repro.mpc.state_layout import (
 
 IN_SET = "rs_in_set"
 ITER_MEMBERS = "rs_iter_members"
+
+# Historical alias: the rate helper moved to engine_ops; tests and the
+# randomized baseline still import it from here.
+_sampling_rate = sampling_rate
 
 # A sampling chooser returns (seed, candidates_scanned) for one level.
 SamplingChooser = Callable[
@@ -142,119 +164,245 @@ def scanning_chooser(batch: int = 32, max_batches: int = 512) -> SamplingChooser
     return choose
 
 
-def _sampling_rate(max_degree: int) -> Tuple[int, int]:
-    """Rate ``q = min(1/2, 4/isqrt(Δ))`` as an exact fraction."""
-    root = math.isqrt(max(1, max_degree))
-    if root <= 8:
-        return (1, 2)
-    return (4, root)
+def ruling_program(
+    beta: int = 2,
+    in_set_key: str = IN_SET,
+    chooser: Optional[SamplingChooser] = None,
+    luby_chooser=None,
+    luby_allow_stalls: int = 0,
+    endgame_degree: int = 4,
+    max_iterations: Optional[int] = None,
+) -> SuperstepProgram:
+    """The sparsify-and-gather ruling-set engine as a phase program.
 
+    Each main-loop iteration is an unlabelled measurement phase plus a
+    routed branch: ``ruling-gather-finish`` (whole residual fits one
+    machine), ``ruling-endgame-luby`` (tiny residual degree), or the
+    three-phase sparsify chain (``ruling-sparsify`` →
+    ``ruling-solve-level`` → ``ruling-removal-wave``).  Level adjacency
+    layers register with :meth:`~repro.core.program.ProgramContext.
+    push_level` and are torn down via ``release_levels`` on every exit
+    path.  :func:`det_ruling_set` runs this program directly.
+    """
+    if beta < 2:
+        raise AlgorithmError(
+            "det_ruling_set needs beta >= 2; use det_luby_mis for an MIS"
+        )
+    choose = chooser if chooser is not None else scanning_chooser()
 
-def _adjacency_words(dg: DistributedGraph, adj_key: str) -> Tuple[int, int, int]:
-    """Return ``(n_active, m_active, words)`` for one adjacency layer."""
-    sim = dg.sim
-
-    def extract(machine: Machine) -> Tuple[int, ...]:
-        adj = machine.store[adj_key]
-        return (
-            len(adj),
-            sum(len(nbrs) for nbrs in adj.values()),
+    def setup(ctx: ProgramContext) -> None:
+        dg, sim = ctx.dg, ctx.sim
+        p = modulus_for(dg.num_vertices)
+        ctx.state["rs_p"] = p
+        ctx.state["rs_np_mod"] = (
+            numpy_or_none()
+            if kernel_of(sim) == KERNEL_NUMPY and supports_modulus(p)
+            else None
+        )
+        ctx.state["rs_budget"] = sim.config.memory_words // 2
+        ctx.state["rs_limit"] = (
+            max_iterations
+            if max_iterations is not None
+            else dg.num_vertices + 2
         )
 
-    from repro.mpc.primitives.aggregate import reduce_vector
+        def ensure_sets(machine: Machine) -> None:
+            if in_set_key not in machine.store:
+                machine.store[in_set_key] = set()
+            machine.store[ITER_MEMBERS] = set()
 
-    n_active, directed = reduce_vector(
-        sim, extract, lambda a, b: (a[0] + b[0], a[1] + b[1]), width=2
+        sim.local(ensure_sets)
+
+    def measure(ctx: ProgramContext):
+        n_act, m_act, words = adjacency_words(ctx.dg, ADJ)
+        if n_act == 0:
+            return EXIT
+        ctx.counters["iterations"] += 1
+        ctx.state["rs_words"] = words
+        return None
+
+    def route(ctx: ProgramContext) -> None:
+        # Runs under the "ruling-iteration" label: picks the arm and, on
+        # the sparsify path, measures the residual degree (that reduction
+        # is only paid when the residual does not fit one machine).
+        if ctx.state["rs_words"] <= ctx.state["rs_budget"]:
+            ctx.state["rs_route"] = "gather"
+            return
+        max_deg = ctx.dg.max_active_degree(ADJ)
+        if max_deg <= endgame_degree:
+            ctx.state["rs_route"] = "endgame"
+            return
+        ctx.state["rs_route"] = "sparsify"
+        ctx.state["rs_max_deg"] = max_deg
+
+    def gather_finish(ctx: ProgramContext):
+        members = gather_and_greedy(ctx.dg, ADJ, ITER_MEMBERS)
+        ctx.counters["gather_finishes"] += 1
+        ctx.counters["members"] += members
+        merge_members(ctx.sim, in_set_key, ITER_MEMBERS)
+        deactivate_all(ctx.dg, ADJ)
+        return EXIT
+
+    def _residual_luby(ctx: ProgramContext) -> None:
+        # Guaranteed-progress fallback: one full Luby MIS on the residual.
+        sub = det_luby_mis(
+            ctx.dg, adj_key=ADJ, in_set_key=ITER_MEMBERS,
+            chooser=luby_chooser, allow_stalls=luby_allow_stalls,
+        )
+        ctx.counters["endgame_luby"] += 1
+        ctx.counters["seed_candidates"] += sub["seed_candidates"]
+        ctx.counters["members"] += merge_members(
+            ctx.sim, in_set_key, ITER_MEMBERS
+        )
+
+    def endgame(ctx: ProgramContext):
+        _residual_luby(ctx)
+        return EXIT
+
+    def sparsify(ctx: ProgramContext) -> None:
+        dg, sim = ctx.dg, ctx.sim
+        p = ctx.state["rs_p"]
+        np_mod = ctx.state["rs_np_mod"]
+        budget = ctx.state["rs_budget"]
+        prev_key = ADJ
+        level_degree = ctx.state.pop("rs_max_deg")
+        for level in range(1, beta):
+            rate_num, rate_den = sampling_rate(level_degree)
+            threshold = threshold_for_rate(p, rate_num, rate_den)
+            high_degree = -(-8 * rate_den // rate_num)  # ceil(8 / q)
+            n_level = dg.count_active(prev_key)
+            n_high = reduce_scalar(
+                sim,
+                lambda m, hk=prev_key, hd=high_degree: sum(
+                    1
+                    for nbrs in m.store[hk].values()
+                    if len(nbrs) >= hd
+                ),
+                lambda a, b: a + b,
+            )
+            seed, scanned = choose(
+                dg, p, prev_key, threshold, high_degree, n_level, n_high
+            )
+            ctx.counters["seed_candidates"] += scanned
+            ctx.counters["levels_built"] += 1
+            new_key = f"rs_level{level}_adj"
+            ctx.push_level(new_key)
+
+            def build_level(
+                machine: Machine, src=prev_key, dst=new_key,
+                s=seed, t=threshold,
+            ) -> None:
+                adj = machine.store[src]
+                if np_mod is not None:
+                    # Same rows, same order, same tuples — computed by
+                    # array masks instead of per-entry hash calls.
+                    machine.store[dst] = MachineCSR.from_adjacency(
+                        adj, np_mod
+                    ).sampled_subgraph(s, t)
+                    return
+                machine.store[dst] = {
+                    v: tuple(u for u in nbrs if s.hash(u) < t)
+                    for v, nbrs in adj.items()
+                    if s.hash(v) < t
+                }
+
+            sim.local(build_level)
+            prev_key = new_key
+            n_lvl, m_lvl, lvl_words = adjacency_words(dg, prev_key)
+            if n_lvl == 0 or lvl_words <= budget:
+                break
+            level_degree = dg.max_active_degree(prev_key)
+            if level_degree <= endgame_degree:
+                break
+        ctx.state["rs_deep_key"] = prev_key
+
+    def solve_level(ctx: ProgramContext):
+        dg, sim = ctx.dg, ctx.sim
+        prev_key = ctx.state.pop("rs_deep_key")
+        n_deep, m_deep, deep_words = adjacency_words(dg, prev_key)
+        if n_deep == 0:
+            # Sampling emptied out (legal but rare): make guaranteed
+            # progress with one full Luby MIS on the residual graph.
+            _residual_luby(ctx)
+            ctx.release_levels()
+            return EXIT
+        if deep_words <= ctx.state["rs_budget"]:
+            members = gather_and_greedy(dg, prev_key, ITER_MEMBERS)
+            ctx.counters["level_gathers"] += 1
+        else:
+            sub = det_luby_mis(
+                dg, adj_key=prev_key, in_set_key=ITER_MEMBERS,
+                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
+            )
+            ctx.counters["level_luby_solves"] += 1
+            ctx.counters["seed_candidates"] += sub["seed_candidates"]
+            members = reduce_scalar(
+                sim, lambda m: len(m.store[ITER_MEMBERS]), lambda a, b: a + b
+            )
+        if members == 0:
+            raise AlgorithmError(
+                "level solver produced no members from a non-empty level"
+            )
+        ctx.counters["members"] += members
+        return None
+
+    def remove(ctx: ProgramContext) -> None:
+        removal_wave(ctx.dg, ITER_MEMBERS, beta)
+        merge_members(ctx.sim, in_set_key, ITER_MEMBERS)
+        ctx.release_levels()
+
+    return SuperstepProgram(
+        name="sparsify-gather",
+        counters=(
+            "iterations",
+            "levels_built",
+            "seed_candidates",
+            "gather_finishes",
+            "level_gathers",
+            "level_luby_solves",
+            "endgame_luby",
+            "members",
+        ),
+        steps=(
+            Phase(setup, keys=(in_set_key, ITER_MEMBERS)),
+            Loop(
+                steps=(
+                    Phase(measure),
+                    Phase(route, name="ruling-iteration"),
+                    Branch(
+                        pick=lambda ctx: ctx.state.pop("rs_route"),
+                        arms={
+                            "gather": (
+                                Phase(
+                                    gather_finish,
+                                    name="ruling-gather-finish",
+                                ),
+                            ),
+                            "endgame": (
+                                Phase(endgame, name="ruling-endgame-luby"),
+                            ),
+                            "sparsify": (
+                                Phase(sparsify, name="ruling-sparsify"),
+                                Phase(
+                                    solve_level,
+                                    name="ruling-solve-level",
+                                ),
+                                Phase(
+                                    remove,
+                                    name="ruling-removal-wave",
+                                ),
+                            ),
+                        },
+                    ),
+                ),
+                limit=lambda ctx: ctx.state["rs_limit"],
+                exhausted=lambda ctx: AlgorithmError(
+                    "ruling set did not finish in "
+                    f"{ctx.state['rs_limit']} iterations"
+                ),
+            ),
+        ),
     )
-    return n_active, directed // 2, directed + n_active
-
-
-def _gather_and_greedy(
-    dg: DistributedGraph, adj_key: str, members_key: str
-) -> int:
-    """Gather the ``adj_key`` subgraph to machine 0, solve, scatter members.
-
-    Flags every active vertex of the layer, ships the subgraph, runs
-    greedy MIS at machine 0, and sends each member id to its owner, which
-    records it under ``members_key``.  Returns the member count.  Costs 4
-    rounds.
-    """
-    sim = dg.sim
-
-    def flag_all(machine: Machine) -> None:
-        machine.store["_rs_gather_flag"] = sorted(machine.store[adj_key])
-
-    sim.local(flag_all)
-    dg.gather_flagged_to_zero(
-        "_rs_gather_flag", "_rs_gv", "_rs_ge", adj_key=adj_key
-    )
-
-    def solve_and_scatter(machine: Machine) -> List[Message]:
-        machine.store.pop("_rs_gather_flag")
-        if machine.mid != 0:
-            return []
-        vertices = machine.store.pop("_rs_gv")
-        edges = machine.store.pop("_rs_ge")
-        members = greedy_mis_on_edges(vertices, edges)
-        return [Message(dg.owner_of(v), (v,)) for v in members]
-
-    sim.communicate(solve_and_scatter)
-
-    def record(machine: Machine) -> None:
-        for payload in machine.inbox:
-            machine.store[members_key].add(payload[0])
-        machine.clear_inbox()
-
-    sim.local(record)
-    return reduce_scalar(
-        sim, lambda m: len(m.store[members_key]), lambda a, b: a + b
-    )
-
-
-def _removal_wave(
-    dg: DistributedGraph, members_key: str, beta: int
-) -> int:
-    """Deactivate every active vertex within β hops of the new members.
-
-    β rounds of flag pushes on the base adjacency plus one deactivation
-    round.  Returns the number of vertices removed.
-    """
-    sim = dg.sim
-
-    def seed_wave(machine: Machine) -> None:
-        members = set(machine.store[members_key])
-        active = set(machine.store[ADJ])
-        machine.store["_rs_frontier"] = sorted(members & active)
-        machine.store["_rs_removed"] = members & active
-
-    sim.local(seed_wave)
-    for _ in range(beta):
-        dg.push_flags("_rs_frontier", "_rs_hit", adj_key=ADJ)
-
-        def advance(machine: Machine) -> None:
-            removed = machine.store["_rs_removed"]
-            hit = machine.store.pop("_rs_hit")
-            newly = {
-                v
-                for v in hit
-                if v not in removed and v in machine.store[ADJ]
-            }
-            removed.update(newly)
-            machine.store["_rs_frontier"] = sorted(newly)
-
-        sim.local(advance)
-
-    def finalize(machine: Machine) -> None:
-        machine.store.pop("_rs_frontier")
-        machine.store["_rs_removed"] = set(machine.store["_rs_removed"])
-        machine.store["_rs_removed_count"] = len(machine.store["_rs_removed"])
-
-    sim.local(finalize)
-    removed_total = sum(
-        sim.harvest(lambda m: m.store.pop("_rs_removed_count"))
-    )
-    dg.deactivate("_rs_removed", adj_key=ADJ)
-    return removed_total
 
 
 def det_ruling_set(
@@ -277,198 +425,16 @@ def det_ruling_set(
     batched scan); ``luby_chooser`` is forwarded to the Luby engine when
     it is used as the level solver or endgame (default: deterministic
     conditional expectations).
+
+    This is a thin wrapper over :func:`ruling_program`.
     """
-    if beta < 2:
-        raise AlgorithmError(
-            "det_ruling_set needs beta >= 2; use det_luby_mis for an MIS"
-        )
-    sim = dg.sim
-    p = modulus_for(dg.num_vertices)
-    np_mod = (
-        numpy_or_none()
-        if kernel_of(sim) == KERNEL_NUMPY and supports_modulus(p)
-        else None
+    program = ruling_program(
+        beta=beta,
+        in_set_key=in_set_key,
+        chooser=chooser,
+        luby_chooser=luby_chooser,
+        luby_allow_stalls=luby_allow_stalls,
+        endgame_degree=endgame_degree,
+        max_iterations=max_iterations,
     )
-    choose = chooser if chooser is not None else scanning_chooser()
-    budget = sim.config.memory_words // 2
-    limit = (
-        max_iterations
-        if max_iterations is not None
-        else dg.num_vertices + 2
-    )
-    counters = {
-        "iterations": 0,
-        "levels_built": 0,
-        "seed_candidates": 0,
-        "gather_finishes": 0,
-        "level_gathers": 0,
-        "level_luby_solves": 0,
-        "endgame_luby": 0,
-        "members": 0,
-    }
-
-    def ensure_sets(machine: Machine) -> None:
-        if in_set_key not in machine.store:
-            machine.store[in_set_key] = set()
-        machine.store[ITER_MEMBERS] = set()
-
-    sim.local(ensure_sets)
-
-    for _ in range(limit):
-        n_act, m_act, words = _adjacency_words(dg, ADJ)
-        if n_act == 0:
-            return counters
-        counters["iterations"] += 1
-        sim.begin_phase("ruling-iteration")
-
-        # ---- endgame: whole residual fits one machine ------------------
-        if words <= budget:
-            sim.begin_phase("ruling-gather-finish")
-            members = _gather_and_greedy(dg, ADJ, ITER_MEMBERS)
-            counters["gather_finishes"] += 1
-            counters["members"] += members
-            _merge_members(sim, in_set_key)
-            _deactivate_all(dg, ADJ)
-            return counters
-
-        # ---- endgame: residual degree tiny -----------------------------
-        max_deg = dg.max_active_degree(ADJ)
-        if max_deg <= endgame_degree:
-            sim.begin_phase("ruling-endgame-luby")
-            sub = det_luby_mis(
-                dg, adj_key=ADJ, in_set_key=ITER_MEMBERS,
-                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
-            )
-            counters["endgame_luby"] += 1
-            counters["seed_candidates"] += sub["seed_candidates"]
-            counters["members"] += _merge_members(sim, in_set_key)
-            return counters
-
-        # ---- sparsification chain --------------------------------------
-        sim.begin_phase("ruling-sparsify")
-        prev_key = ADJ
-        level_keys: List[str] = []
-        level_degree = max_deg
-        for level in range(1, beta):
-            rate_num, rate_den = _sampling_rate(level_degree)
-            threshold = threshold_for_rate(p, rate_num, rate_den)
-            high_degree = -(-8 * rate_den // rate_num)  # ceil(8 / q)
-            n_level = dg.count_active(prev_key)
-            n_high = reduce_scalar(
-                sim,
-                lambda m, hk=prev_key, hd=high_degree: sum(
-                    1
-                    for nbrs in m.store[hk].values()
-                    if len(nbrs) >= hd
-                ),
-                lambda a, b: a + b,
-            )
-            seed, scanned = choose(
-                dg, p, prev_key, threshold, high_degree, n_level, n_high
-            )
-            counters["seed_candidates"] += scanned
-            counters["levels_built"] += 1
-            new_key = f"rs_level{level}_adj"
-            level_keys.append(new_key)
-
-            def build_level(
-                machine: Machine, src=prev_key, dst=new_key,
-                s=seed, t=threshold,
-            ) -> None:
-                adj = machine.store[src]
-                if np_mod is not None:
-                    # Same rows, same order, same tuples — computed by
-                    # array masks instead of per-entry hash calls.
-                    machine.store[dst] = MachineCSR.from_adjacency(
-                        adj, np_mod
-                    ).sampled_subgraph(s, t)
-                    return
-                machine.store[dst] = {
-                    v: tuple(u for u in nbrs if s.hash(u) < t)
-                    for v, nbrs in adj.items()
-                    if s.hash(v) < t
-                }
-
-            sim.local(build_level)
-            prev_key = new_key
-            n_lvl, m_lvl, lvl_words = _adjacency_words(dg, prev_key)
-            if n_lvl == 0 or lvl_words <= budget:
-                break
-            level_degree = dg.max_active_degree(prev_key)
-            if level_degree <= endgame_degree:
-                break
-
-        # ---- solve the deepest level ------------------------------------
-        sim.begin_phase("ruling-solve-level")
-        n_deep, m_deep, deep_words = _adjacency_words(dg, prev_key)
-        if n_deep == 0:
-            # Sampling emptied out (legal but rare): make guaranteed
-            # progress with one full Luby MIS on the residual graph.
-            sub = det_luby_mis(
-                dg, adj_key=ADJ, in_set_key=ITER_MEMBERS,
-                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
-            )
-            counters["endgame_luby"] += 1
-            counters["seed_candidates"] += sub["seed_candidates"]
-            counters["members"] += _merge_members(sim, in_set_key)
-            _cleanup_levels(sim, level_keys)
-            return counters
-        if deep_words <= budget:
-            members = _gather_and_greedy(dg, prev_key, ITER_MEMBERS)
-            counters["level_gathers"] += 1
-        else:
-            sub = det_luby_mis(
-                dg, adj_key=prev_key, in_set_key=ITER_MEMBERS,
-                chooser=luby_chooser, allow_stalls=luby_allow_stalls,
-            )
-            counters["level_luby_solves"] += 1
-            counters["seed_candidates"] += sub["seed_candidates"]
-            members = reduce_scalar(
-                sim, lambda m: len(m.store[ITER_MEMBERS]), lambda a, b: a + b
-            )
-        if members == 0:
-            raise AlgorithmError(
-                "level solver produced no members from a non-empty level"
-            )
-        counters["members"] += members
-
-        # ---- removal wave ------------------------------------------------
-        sim.begin_phase("ruling-removal-wave")
-        _removal_wave(dg, ITER_MEMBERS, beta)
-        _merge_members(sim, in_set_key)
-        _cleanup_levels(sim, level_keys)
-
-    raise AlgorithmError(f"ruling set did not finish in {limit} iterations")
-
-
-def _merge_members(sim, in_set_key: str) -> int:
-    """Fold this iteration's members into the global set; return count."""
-
-    def merge(machine: Machine) -> None:
-        new_members = machine.store[ITER_MEMBERS]
-        machine.store["_rs_merged"] = len(new_members)
-        machine.store[in_set_key].update(new_members)
-        machine.store[ITER_MEMBERS] = set()
-
-    sim.local(merge)
-    return sum(sim.harvest(lambda m: m.store.pop("_rs_merged")))
-
-
-def _cleanup_levels(sim, level_keys: List[str]) -> None:
-    """Drop per-iteration level adjacency layers."""
-
-    def cleanup(machine: Machine) -> None:
-        for key in level_keys:
-            machine.store.pop(key, None)
-
-    sim.local(cleanup)
-
-
-def _deactivate_all(dg: DistributedGraph, adj_key: str) -> None:
-    """Remove every remaining active vertex (after a gather-finish)."""
-
-    def mark_all(machine: Machine) -> None:
-        machine.store["_rs_all"] = set(machine.store[adj_key])
-
-    dg.sim.local(mark_all)
-    dg.deactivate("_rs_all", adj_key=adj_key)
+    return program.run(ProgramContext(dg))

@@ -57,6 +57,25 @@ def random_sampling_chooser(rng: SplitMix64):
     return choose
 
 
+def rand_luby_program(
+    adj_key: str = ADJ,
+    in_set_key: str = "luby_in_set",
+    seed: int = 0,
+    max_phases: int = 10_000,
+):
+    """The randomized Luby baseline as a phase program (drawn seeds)."""
+    from repro.core.det_luby import luby_program
+
+    rng = SplitMix64(seed=seed)
+    return luby_program(
+        adj_key=adj_key,
+        in_set_key=in_set_key,
+        chooser=random_luby_chooser(rng),
+        max_phases=max_phases,
+        allow_stalls=64,
+    )
+
+
 def rand_luby_mis(
     dg: DistributedGraph,
     adj_key: str = ADJ,
@@ -77,6 +96,26 @@ def rand_luby_mis(
         chooser=random_luby_chooser(rng),
         max_phases=max_phases,
         allow_stalls=64,
+    )
+
+
+def rand_ruling_program(
+    beta: int = 2,
+    in_set_key: str = "rs_in_set",
+    seed: int = 0,
+    endgame_degree: int = 4,
+):
+    """The randomized ruling-set baseline as a phase program."""
+    from repro.core.det_ruling import ruling_program
+
+    rng = SplitMix64(seed=seed)
+    return ruling_program(
+        beta=beta,
+        in_set_key=in_set_key,
+        chooser=random_sampling_chooser(rng.fork(1)),
+        luby_chooser=random_luby_chooser(rng.fork(2)),
+        luby_allow_stalls=64,
+        endgame_degree=endgame_degree,
     )
 
 

@@ -62,6 +62,7 @@ from repro.errors import AlgorithmError
 from repro.util.mathx import ilog2_ceil
 
 if TYPE_CHECKING:  # type-only: the registry imports no heavy modules
+    from repro.core.program import SuperstepProgram
     from repro.graph.graph import Graph
     from repro.mpc.config import MPCConfig
     from repro.mpc.graph_store import DistributedGraph
@@ -76,6 +77,7 @@ DET_RULING = "det-ruling"
 RAND_RULING = "rand-ruling"
 DET_LUBY = "det-luby"
 RAND_LUBY = "rand-luby"
+GP_RULING = "gp-2ruling"
 GREEDY_MIS = "greedy-mis"
 GREEDY_RULING = "greedy-ruling"
 LOCAL_LUBY = "local-luby"
@@ -149,6 +151,19 @@ ClaimedBeta = Callable[["Graph", int, int], int]
 #: built once by the session).
 ConfigFactory = Callable[["Graph", str, Tuple[int, int]], "MPCConfig"]
 
+#: ``program_factory(run_context) -> SuperstepProgram`` — how an
+#: MPC-family algorithm builds its phase program for one run.  The
+#: session prefers this over ``runner`` (it executes the program itself
+#: and assembles the payload from the program context); ``runner`` stays
+#: as the uniform fallback and the streaming path's entry point.
+ProgramFactory = Callable[[RunContext], "SuperstepProgram"]
+
+#: ``claimed_rounds(graph, alpha, beta) -> int`` — a concrete ceiling on
+#: the MPC round count the algorithm *claims* for a run with those
+#: parameters (tests hold the measured ``rounds`` to it, the same way
+#: verification holds the measured radius to ``claimed_beta``).
+ClaimedRounds = Callable[["Graph", int, int], int]
+
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
@@ -182,6 +197,17 @@ class AlgorithmSpec:
         Regime sizing for ``mpc``-family algorithms; ``None`` selects
         the session's default (:func:`repro.core.session.make_config`
         over the sizing graph).
+    program_factory:
+        Phase-program construction for ``mpc``-family algorithms; when
+        present the session executes the program directly (``runner``
+        remains the streaming path's entry point and the fallback).
+    round_complexity:
+        Asymptotic MPC round complexity as a display string for the
+        generated help / README table (``—`` when not meaningful, e.g.
+        sequential oracles).
+    claimed_rounds:
+        Concrete claimed round ceiling as a function of the run
+        parameters; ``None`` when the algorithm makes no such claim.
     """
 
     name: str
@@ -193,6 +219,9 @@ class AlgorithmSpec:
     supports_alpha_gt2: bool = False
     uses_seed: bool = False
     config_factory: Optional[ConfigFactory] = None
+    program_factory: Optional[ProgramFactory] = None
+    round_complexity: str = "—"
+    claimed_rounds: Optional[ClaimedRounds] = None
 
 
 # ---------------------------------------------------------------------------
@@ -261,9 +290,19 @@ def algorithm_names(
     )
 
 
-def help_text(problem: Optional[str] = None) -> str:
-    """``name | name | …`` for generated CLI help (cannot drift)."""
-    return " | ".join(algorithm_names(problem=problem))
+def help_text(problem: Optional[str] = None, rounds: bool = False) -> str:
+    """``name | name | …`` for generated CLI help (cannot drift).
+
+    With ``rounds=True`` each entry carries its round complexity, e.g.
+    ``name [O(log n)]`` — the CLI help surfaces the same column the
+    README table is generated from.
+    """
+    if not rounds:
+        return " | ".join(algorithm_names(problem=problem))
+    return " | ".join(
+        f"{spec.name} [{spec.round_complexity}]"
+        for spec in algorithm_specs(problem=problem)
+    )
 
 
 def canonical_cache_params(
@@ -321,12 +360,14 @@ def canonical_cache_params(
 def markdown_table(problem: Optional[str] = None) -> str:
     """The algorithm table for README/docs, regenerated from the registry."""
     lines = [
-        "| Algorithm | Model | Problem | α>2 | Seeded | What it computes |",
-        "|---|---|---|---|---|---|",
+        "| Algorithm | Model | Problem | Rounds | α>2 | Seeded "
+        "| What it computes |",
+        "|---|---|---|---|---|---|---|",
     ]
     for spec in algorithm_specs(problem=problem):
         lines.append(
             f"| `{spec.name}` | {spec.family.upper()} | {spec.problem} "
+            f"| {spec.round_complexity} "
             f"| {'yes' if spec.supports_alpha_gt2 else '—'} "
             f"| {'yes' if spec.uses_seed else '—'} "
             f"| {spec.description} |"
@@ -387,6 +428,14 @@ def _run_det_luby(ctx: RunContext) -> RunPayload:
 
     return RunPayload(
         counters=det_luby_mis(ctx.dg, in_set_key=ctx.in_set_key)
+    )
+
+
+def _run_gp_ruling(ctx: RunContext) -> RunPayload:
+    from repro.core.gp_ruling import gp_2ruling_set
+
+    return RunPayload(
+        counters=gp_2ruling_set(ctx.dg, in_set_key=ctx.in_set_key)
     )
 
 
@@ -455,6 +504,87 @@ def _run_rand_matching(ctx: RunContext) -> RunPayload:
 
 
 # ---------------------------------------------------------------------------
+# Program factories — MPC-family algorithms as phase programs.  Each
+# mirrors its runner's dispatch exactly; the session executes the
+# program when the factory is present, so runner and factory must stay
+# bit-identical by construction (the runner is a thin wrapper over the
+# same program).
+# ---------------------------------------------------------------------------
+
+
+def _program_det_ruling(ctx: RunContext) -> "SuperstepProgram":
+    if ctx.alpha > 2:
+        from repro.core.alpha_ruling import alpha_program
+
+        return alpha_program(
+            ctx.alpha, beta=ctx.beta, in_set_key=ctx.in_set_key,
+            power_adjacency=ctx.power_adjacency,
+        )
+    from repro.core.det_ruling import ruling_program
+
+    return ruling_program(beta=ctx.beta, in_set_key=ctx.in_set_key)
+
+
+def _program_rand_ruling(ctx: RunContext) -> "SuperstepProgram":
+    if ctx.alpha > 2:
+        from repro.core.alpha_ruling import alpha_program
+        from repro.core.rand_baselines import (
+            random_luby_chooser,
+            random_sampling_chooser,
+        )
+        from repro.util.rng import SplitMix64
+
+        rng = SplitMix64(seed=ctx.seed)
+        return alpha_program(
+            ctx.alpha, beta=ctx.beta, in_set_key=ctx.in_set_key,
+            chooser=random_sampling_chooser(rng.fork(1)),
+            luby_chooser=random_luby_chooser(rng.fork(2)),
+            luby_allow_stalls=64,
+            power_adjacency=ctx.power_adjacency,
+        )
+    from repro.core.rand_baselines import rand_ruling_program
+
+    return rand_ruling_program(
+        beta=ctx.beta, in_set_key=ctx.in_set_key, seed=ctx.seed
+    )
+
+
+def _program_det_luby(ctx: RunContext) -> "SuperstepProgram":
+    from repro.core.det_luby import luby_program
+
+    return luby_program(in_set_key=ctx.in_set_key)
+
+
+def _program_rand_luby(ctx: RunContext) -> "SuperstepProgram":
+    from repro.core.rand_baselines import rand_luby_program
+
+    return rand_luby_program(in_set_key=ctx.in_set_key, seed=ctx.seed)
+
+
+def _program_gp_ruling(ctx: RunContext) -> "SuperstepProgram":
+    from repro.core.gp_ruling import gp_program
+
+    return gp_program(in_set_key=ctx.in_set_key)
+
+
+def _program_det_matching(ctx: RunContext) -> "SuperstepProgram":
+    from repro.core.det_matching import matching_program
+
+    return matching_program()
+
+
+def _program_rand_matching(ctx: RunContext) -> "SuperstepProgram":
+    from repro.core.det_matching import matching_program
+    from repro.core.rand_baselines import random_luby_chooser
+    from repro.util.rng import SplitMix64
+
+    return matching_program(
+        chooser=random_luby_chooser(SplitMix64(seed=ctx.seed)),
+        allow_stalls=64,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Claimed-β functions and config factories
 # ---------------------------------------------------------------------------
 
@@ -474,6 +604,19 @@ def _greedy_ruling_beta(graph: "Graph", alpha: int, beta: int) -> int:
 
 def _bitwise_beta(graph: "Graph", alpha: int, beta: int) -> int:
     return max(1, ilog2_ceil(max(2, graph.num_vertices)))
+
+
+def _gp_beta(graph: "Graph", alpha: int, beta: int) -> int:
+    # The degree-class decomposition always yields a (2, 2)-ruling set,
+    # regardless of the requested β.  Must tolerate graph=None (the
+    # streaming entry point prices the claim before the graph exists).
+    return 2
+
+
+def _gp_rounds(graph: "Graph", alpha: int, beta: int) -> int:
+    from repro.core.gp_ruling import claimed_round_bound
+
+    return claimed_round_bound(graph.num_vertices, graph.max_degree())
 
 
 def _matching_config_factory(
@@ -498,6 +641,8 @@ register(AlgorithmSpec(
     runner=_run_det_ruling,
     claimed_beta=_ruling_beta,
     supports_alpha_gt2=True,
+    program_factory=_program_det_ruling,
+    round_complexity="O(β log Δ)",
 ))
 
 register(AlgorithmSpec(
@@ -510,6 +655,8 @@ register(AlgorithmSpec(
     claimed_beta=_ruling_beta,
     supports_alpha_gt2=True,
     uses_seed=True,
+    program_factory=_program_rand_ruling,
+    round_complexity="O(β log Δ)",
 ))
 
 register(AlgorithmSpec(
@@ -520,6 +667,8 @@ register(AlgorithmSpec(
     "expectations)",
     runner=_run_det_luby,
     claimed_beta=_mis_beta,
+    program_factory=_program_det_luby,
+    round_complexity="O(log n)",
 ))
 
 register(AlgorithmSpec(
@@ -530,6 +679,21 @@ register(AlgorithmSpec(
     runner=_run_rand_luby,
     claimed_beta=_mis_beta,
     uses_seed=True,
+    program_factory=_program_rand_luby,
+    round_complexity="O(log n)",
+))
+
+register(AlgorithmSpec(
+    name=GP_RULING,
+    family=MPC_FAMILY,
+    problem=RULING_SET,
+    description="deterministic (2, 2)-ruling set via degree-class "
+    "decomposition (the follow-up paper's O(log log Δ) route)",
+    runner=_run_gp_ruling,
+    claimed_beta=_gp_beta,
+    program_factory=_program_gp_ruling,
+    round_complexity="O(log log Δ)",
+    claimed_rounds=_gp_rounds,
 ))
 
 register(AlgorithmSpec(
@@ -559,6 +723,7 @@ register(AlgorithmSpec(
     runner=_run_local_luby,
     claimed_beta=_mis_beta,
     uses_seed=True,
+    round_complexity="O(log n)",
 ))
 
 register(AlgorithmSpec(
@@ -568,6 +733,7 @@ register(AlgorithmSpec(
     description="LOCAL-model deterministic bitwise (AGLP) ruling set",
     runner=_run_local_bitwise,
     claimed_beta=_bitwise_beta,
+    round_complexity="O(log n)",
 ))
 
 register(AlgorithmSpec(
@@ -577,6 +743,7 @@ register(AlgorithmSpec(
     description="LOCAL-model MIS via Linial coloring reduction",
     runner=_run_local_coloring_mis,
     claimed_beta=_mis_beta,
+    round_complexity="O(Δ² + log* n)",
 ))
 
 register(AlgorithmSpec(
@@ -587,6 +754,8 @@ register(AlgorithmSpec(
     "distributed line graph)",
     runner=_run_det_matching,
     config_factory=_matching_config_factory,
+    program_factory=_program_det_matching,
+    round_complexity="O(log m)",
 ))
 
 register(AlgorithmSpec(
@@ -598,4 +767,6 @@ register(AlgorithmSpec(
     runner=_run_rand_matching,
     config_factory=_matching_config_factory,
     uses_seed=True,
+    program_factory=_program_rand_matching,
+    round_complexity="O(log m)",
 ))

@@ -263,6 +263,29 @@ class SolverSession:
         metrics.update(payload.extra_metrics)
         return SessionRun(payload=payload, stats=SessionStats(metrics=metrics))
 
+    def _execute(self, ctx: RunContext) -> RunPayload:
+        """Run the spec — as a phase program when it declares one.
+
+        Specs with a ``program_factory`` are executed through
+        :class:`~repro.core.program.SuperstepProgram` so the session owns
+        phase sequencing, key teardown, and counter bookkeeping; the
+        legacy ``runner`` stays as the streaming/direct entry point and
+        as the fallback for specs that have not been ported.
+        """
+        if self.spec.program_factory is None:
+            return self.spec.runner(ctx)
+        from repro.core.program import ProgramContext
+
+        program = self.spec.program_factory(ctx)
+        pctx = ProgramContext(ctx.dg)
+        counters = program.run(pctx)
+        return RunPayload(
+            counters=counters,
+            members=pctx.members,
+            matching=pctx.matching,
+            extra_metrics=pctx.extra_metrics,
+        )
+
     def _run_mpc(self) -> SessionRun:
         cfg = self.resolve_config()
         # Context manager, not a trailing shutdown() call: a solve that
@@ -276,7 +299,7 @@ class SolverSession:
                 power_adjacency=self.power_adjacency(),
                 in_set_key=self.in_set_key,
             )
-            payload = self.spec.runner(ctx)
+            payload = self._execute(ctx)
             if payload.members is None and self.spec.problem == RULING_SET:
                 payload.members = dg.collect_marked(self.in_set_key)
         metrics: Dict[str, object] = dict(sim.metrics.summary())

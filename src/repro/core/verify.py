@@ -23,34 +23,39 @@ from repro.graph.properties import UNREACHED, multi_source_distances
 class RulingSetCheck:
     """Measured properties of a claimed ruling set."""
 
-    independent_at: int  # largest α' <= alpha_limit certified (see below)
+    independent_at: int  # min pairwise member distance, capped at alpha
     measured_beta: int
     size: int
 
 
-def _min_pairwise_distance_at_least(
-    graph: Graph, members: List[int], alpha: int
-) -> bool:
-    """True iff all distinct members are at distance >= alpha.
+def _min_pairwise_distance(graph: Graph, members: List[int], cap: int) -> int:
+    """Minimum distance between distinct members, capped at ``cap``.
 
-    Depth-limited BFS from each member; stops early on a violation.
+    Depth-limited BFS from each member (depth ``cap - 1`` suffices: any
+    pair further apart is certified at ``>= cap``).  Works for every α,
+    not just the paper's α = 2 regime — the measured value is the
+    largest α' <= cap at which the set is α'-independent.  Stops early
+    once the floor (distance 1, adjacent members) is witnessed.
     """
     member_set = set(members)
-    limit = alpha - 1
+    best = cap
+    limit = cap - 1
     for src in members:
         dist = {src: 0}
         queue = deque([src])
         while queue:
             u = queue.popleft()
-            if dist[u] == limit:
+            if dist[u] >= min(limit, best - 1):
                 continue
             for v in graph.neighbors(u):
                 if v not in dist:
                     dist[v] = dist[u] + 1
                     if v in member_set:
-                        return False
+                        best = min(best, dist[v])
+                        if best == 1:
+                            return 1
                     queue.append(v)
-    return True
+    return best
 
 
 def check_ruling_set(
@@ -58,8 +63,10 @@ def check_ruling_set(
 ) -> RulingSetCheck:
     """Measure a candidate set; raise only on malformed input.
 
-    Returns the measured domination radius and whether α-independence
-    holds (``independent_at`` is ``alpha`` when certified, else 1).
+    ``independent_at`` is the true minimum pairwise member distance,
+    capped at ``alpha`` (the set is α-independent iff
+    ``independent_at == alpha``); ``measured_beta`` is the exact
+    domination radius from one multi-source BFS.
     """
     member_list = sorted(set(members))
     for v in member_list:
@@ -69,7 +76,7 @@ def check_ruling_set(
         return RulingSetCheck(independent_at=alpha, measured_beta=0, size=0)
     if not member_list:
         raise VerificationError("empty set cannot rule a non-empty graph")
-    independent = _min_pairwise_distance_at_least(graph, member_list, alpha)
+    independent_at = _min_pairwise_distance(graph, member_list, alpha)
     dist = multi_source_distances(graph, member_list)
     beta = 0
     for v, d in enumerate(dist):
@@ -79,7 +86,7 @@ def check_ruling_set(
             )
         beta = max(beta, d)
     return RulingSetCheck(
-        independent_at=alpha if independent else 1,
+        independent_at=independent_at,
         measured_beta=beta,
         size=len(member_list),
     )

@@ -111,8 +111,8 @@ class TestSimulatorLifecycle:
     def test_shutdown_when_solve_raises(self, small_er, monkeypatch):
         # Regression: a raising solve (e.g. MPCViolationError) used to
         # skip the trailing shutdown() and leak process-pool workers.
-        # The registry runner imports det_luby_mis lazily, so patching
-        # the algorithm module's attribute intercepts the call.
+        # The registry program factory imports luby_program lazily, so
+        # patching the algorithm module's attribute intercepts the call.
         import repro.core.det_luby as det_luby_mod
 
         from repro.errors import MPCViolationError
@@ -122,7 +122,7 @@ class TestSimulatorLifecycle:
         def blow_budget(*args, **kwargs):
             raise MPCViolationError("synthetic budget blowout")
 
-        monkeypatch.setattr(det_luby_mod, "det_luby_mis", blow_budget)
+        monkeypatch.setattr(det_luby_mod, "luby_program", blow_budget)
         with pytest.raises(MPCViolationError):
             solve_ruling_set(small_er, algorithm="det-luby")
         assert sims and all(s.shutdown_calls >= 1 for s in sims)

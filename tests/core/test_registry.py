@@ -189,3 +189,32 @@ class TestGeneratedText:
         for spec in registry.algorithm_specs():
             assert f"`{spec.name}`" in table
             assert spec.description.split("(")[0].strip()[:20] in table
+
+    def test_markdown_table_has_rounds_column(self):
+        table = registry.markdown_table()
+        header = table.splitlines()[0]
+        assert "| Rounds |" in header
+        for spec in registry.algorithm_specs():
+            row = next(
+                line for line in table.splitlines()
+                if line.startswith(f"| `{spec.name}`")
+            )
+            assert f"| {spec.round_complexity} |" in row
+
+    def test_help_text_rounds_variant(self):
+        text = registry.help_text(rounds=True)
+        for spec in registry.algorithm_specs():
+            assert f"{spec.name} [{spec.round_complexity}]" in text
+
+    def test_readme_table_matches_generator(self):
+        # The README algorithm table is generated, never hand-edited;
+        # this pins the committed block to the current generator output.
+        import pathlib
+
+        readme = pathlib.Path(__file__).resolve().parents[2] / "README.md"
+        source = readme.read_text(encoding="utf-8")
+        table = registry.markdown_table()
+        assert table in source, (
+            "README algorithm table is stale — regenerate it with "
+            "registry.markdown_table()"
+        )

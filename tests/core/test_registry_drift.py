@@ -78,6 +78,49 @@ def test_registry_is_the_only_module_spelling_names():
     )
 
 
+#: Modules under the stricter rule: no algorithm-name literal anywhere,
+#: docstrings included.  The framework is algorithm-agnostic by design,
+#: and the newest family module must not hard-code sibling names either
+#: — both would re-grow the coupling this refactor removed.
+STRICT_PROSE_FREE = (
+    REPO_ROOT / "src" / "repro" / "core" / "program.py",
+    REPO_ROOT / "src" / "repro" / "core" / "gp_ruling.py",
+)
+
+
+def test_framework_modules_spell_no_names_even_in_prose():
+    offenders = []
+    for path in STRICT_PROSE_FREE:
+        source = path.read_text()
+        for name in ALL_NAMES:
+            if name in source:
+                offenders.append(f"{path.relative_to(REPO_ROOT)}: {name!r}")
+    assert not offenders, (
+        "algorithm names in algorithm-agnostic modules (docstrings "
+        "included):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_program_framework_imports_no_solver_modules():
+    # Structural independence: the framework must not import anything
+    # from repro.core (solvers build on it, never the reverse).
+    path = REPO_ROOT / "src" / "repro" / "core" / "program.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            offenders.extend(
+                alias.name for alias in node.names
+                if alias.name.startswith("repro.core")
+            )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro.core"):
+                offenders.append(node.module)
+    assert not offenders, (
+        f"repro.core imports inside the framework module: {offenders}"
+    )
+
+
 def test_registry_spells_every_name_it_exports():
     # The guard above is vacuous if the registry itself stopped defining
     # the names; pin that the literals all live there.

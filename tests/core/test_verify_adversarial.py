@@ -1,0 +1,113 @@
+"""Adversarial near-miss sets against the generalized verifier.
+
+Each case is one mutation away from a valid ruling set: a pair of
+members exactly one hop too close, a single vertex exactly one hop too
+far, coverage that leans on a path through a member, and so on.  A
+verifier that only spot-checks the paper's α = 2 regime — or that
+rounds the measured independence to a pass/fail bit — accepts at least
+one of these; the BFS-based oracle must reject every one for precisely
+the right reason.
+"""
+
+import pytest
+
+from repro.core.verify import check_ruling_set, verify_ruling_set
+from repro.errors import VerificationError
+from repro.graph import generators as gen
+from repro.graph.graph import Graph
+
+
+class TestNearMissIndependence:
+    def test_members_at_distance_alpha_minus_one(self):
+        # Path 0-1-2-3-4-5: {0, 3} has pairwise distance 3.  Valid at
+        # alpha=3, a near-miss at alpha=4 — binary checkers that only
+        # certify "alpha or 1" cannot tell these apart.
+        g = gen.path_graph(6)
+        members = [0, 3]
+        assert verify_ruling_set(g, members, alpha=3, beta=2).independent_at == 3
+        with pytest.raises(VerificationError, match="not 4-independent"):
+            verify_ruling_set(g, members, alpha=4, beta=2)
+
+    def test_min_distance_is_exact_not_binary(self):
+        # Distances between consecutive members: 2, 3, 4.  The check
+        # must report min=2 even when asked about alpha=4.
+        g = gen.path_graph(10)
+        check = check_ruling_set(g, [0, 2, 5, 9], alpha=4)
+        assert check.independent_at == 2
+
+    def test_close_pair_hidden_behind_far_pairs(self):
+        # Star-with-tail: leaves 1 and 2 share hub 0, so distance 2;
+        # the tail member sits far away.  A checker that stops at the
+        # first BFS source finding nothing adjacent would pass alpha=3.
+        g = Graph.from_edges(
+            7, [(0, 1), (0, 2), (0, 3), (3, 4), (4, 5), (5, 6)]
+        )
+        check = check_ruling_set(g, [1, 2, 6], alpha=3)
+        assert check.independent_at == 2
+        with pytest.raises(VerificationError, match="not 3-independent"):
+            verify_ruling_set(g, [1, 2, 6], alpha=3, beta=3)
+
+    def test_adjacent_members_floor(self):
+        g = gen.cycle_graph(8)
+        assert check_ruling_set(g, [0, 1, 4], alpha=2).independent_at == 1
+
+    def test_distance_via_third_member_counts(self):
+        # Triangle fan: 0-1, 1-2 — members {0, 2} are at distance 2
+        # *through* member 1 only if 1 is in the set; with plain
+        # {0, 2} on the path they are at distance 2 regardless.  With
+        # the chord (0, 2) they are adjacent: the shortest path wins,
+        # whoever it routes through.
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert check_ruling_set(g, [0, 2], alpha=2).independent_at == 1
+
+
+class TestNearMissDomination:
+    def test_one_vertex_one_hop_too_far(self):
+        # Path 0..5 ruled by {0}: vertex 5 at distance 5.
+        g = gen.path_graph(6)
+        verify_ruling_set(g, [0], alpha=2, beta=5)
+        with pytest.raises(VerificationError, match="exceeds claimed beta=4"):
+            verify_ruling_set(g, [0], alpha=2, beta=4)
+
+    def test_unreachable_component(self):
+        # Two disjoint edges; members only in one component.
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(VerificationError, match="unreachable"):
+            verify_ruling_set(g, [0], alpha=2, beta=99)
+
+    def test_exact_beta_boundary_accepted(self):
+        g = gen.cycle_graph(9)
+        check = verify_ruling_set(g, [0, 3, 6], alpha=2, beta=1)
+        assert check.measured_beta == 1
+
+    def test_isolated_vertex_must_be_member(self):
+        g = Graph.from_edges(3, [(0, 1)])  # vertex 2 isolated
+        with pytest.raises(VerificationError, match="unreachable"):
+            verify_ruling_set(g, [0], alpha=2, beta=9)
+        verify_ruling_set(g, [0, 2], alpha=2, beta=1)
+
+
+class TestGeneralizedRegimes:
+    @pytest.mark.parametrize("alpha", [2, 3, 4, 5])
+    def test_spaced_cycle_members(self, alpha):
+        # Members every `alpha` hops around a cycle of 4·alpha vertices:
+        # exactly alpha-independent and (alpha - 1)-dominating, a valid
+        # (alpha, alpha-1)-ruling set but a near-miss at alpha+1.
+        n = 4 * alpha
+        g = gen.cycle_graph(n)
+        members = list(range(0, n, alpha))
+        check = verify_ruling_set(g, members, alpha=alpha, beta=alpha - 1)
+        assert check.independent_at == alpha
+        assert check.measured_beta == alpha // 2
+        with pytest.raises(VerificationError, match="independent"):
+            verify_ruling_set(g, members, alpha=alpha + 1, beta=alpha)
+
+    def test_single_member_is_vacuously_independent(self):
+        g = gen.star_graph(5)
+        check = verify_ruling_set(g, [0], alpha=7, beta=1)
+        assert check.independent_at == 7
+
+    def test_duplicate_members_deduplicated(self):
+        g = gen.path_graph(4)
+        check = verify_ruling_set(g, [0, 0, 2, 2], alpha=2, beta=1)
+        assert check.size == 2
