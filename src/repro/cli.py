@@ -123,6 +123,7 @@ def cmd_solve(args) -> int:
         backend_workers=args.workers,
         kernel=args.kernel,
         trace=trace_out is not None,
+        governed=args.governed,
     )
     if trace_out is not None:
         if result.trace is None:
@@ -178,6 +179,7 @@ def _cmd_solve_stream(args) -> int:
         verify=args.stream_verify,
         num_shards=args.workers,
         kernel=args.kernel,
+        governed=args.governed,
     )
     if args.json:
         payload = result.summary_row()
@@ -215,6 +217,7 @@ def cmd_trace(args) -> int:
         kernel=args.kernel,
         trace=True,
         trace_warn_utilization=args.warn_utilization,
+        governed=args.governed,
     )
     trace = result.trace
     if trace is None:
@@ -274,6 +277,7 @@ def cmd_match(args) -> int:
         backend_workers=args.workers,
         kernel=args.kernel,
         trace=trace_out is not None,
+        governed=args.governed,
     )
     if trace_out is not None:
         result.trace.write_jsonl(trace_out)
@@ -366,6 +370,48 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.core.harness import fuzz_verify
+
+    solver_seeds = tuple(
+        int(x) for x in args.solver_seeds.split(",") if x
+    ) or (0,)
+    algorithms = (
+        [a for a in args.algorithms.split(",") if a]
+        if args.algorithms else None
+    )
+    families = (
+        [f for f in args.families.split(",") if f]
+        if args.families else None
+    )
+    report = fuzz_verify(
+        scale=args.scale,
+        seed=args.seed,
+        solver_seeds=solver_seeds,
+        families=families,
+        algorithms=algorithms,
+        governed=args.governed,
+    )
+    if args.json:
+        payload = {
+            "governed": report.governed,
+            "cells": len(report.cells),
+            "failures": [
+                {
+                    "graph": cell.graph_name,
+                    "algorithm": cell.algorithm,
+                    "seed": cell.seed,
+                    "detail": cell.detail,
+                }
+                for cell in report.failures
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def cmd_batch(args) -> int:
     from repro.serve import (
         BatchEngine,
@@ -440,6 +486,7 @@ def cmd_serve(args) -> int:
         policy=AdmissionPolicy(
             max_queue=args.max_queue,
             max_inflight_words=args.max_inflight_words,
+            default_request_words=args.default_request_words,
         ),
         workers=args.workers,
     )
@@ -551,6 +598,13 @@ def make_parser() -> argparse.ArgumentParser:
             "when NumPy is not installed; default: $REPRO_KERNEL or "
             "'python')",
         )
+        parser.add_argument(
+            "--governed", action="store_true",
+            help="run under the adaptive load governor: near-budget "
+            "rounds throttle exchange chunking and exponentiation "
+            "windows instead of faulting (results are bit-identical at "
+            "feasible sizes; also $REPRO_GOVERNED=1)",
+        )
 
     p_solve = sub.add_parser("solve", help="compute a verified ruling set")
     _add_graph_source(p_solve)
@@ -623,6 +677,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None,
         help="enable the superstep trace and write its JSONL here",
     )
+    p_match.add_argument(
+        "--governed", action="store_true",
+        help="run under the adaptive load governor (bit-identical at "
+        "feasible sizes)",
+    )
     p_match.add_argument("--json", action="store_true")
     p_match.set_defaults(func=cmd_match)
 
@@ -684,6 +743,42 @@ def make_parser() -> argparse.ArgumentParser:
         "failure (default 0)",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzzing verifier: every registered solver over the "
+        "hostile graph suite, checked against the sequential validators",
+    )
+    p_fuzz.add_argument(
+        "--scale", type=int, default=1,
+        help="hostile-suite size multiplier (default 1)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="hostile-suite generator seed (default 0)",
+    )
+    p_fuzz.add_argument(
+        "--solver-seeds", default="0",
+        help="comma-separated seeds tried per seeded algorithm "
+        "(seedless algorithms run once)",
+    )
+    p_fuzz.add_argument(
+        "--families", default=None,
+        help="comma-separated family filter: "
+        + ",".join(registry.FAMILIES) + " (default: all)",
+    )
+    p_fuzz.add_argument(
+        "--algorithms", default=None,
+        help="comma-separated algorithm filter ("
+        + registry.help_text() + "; default: all)",
+    )
+    p_fuzz.add_argument(
+        "--governed", action="store_true",
+        help="replay the sweep under the adaptive load governor "
+        "(results must stay bit-identical)",
+    )
+    p_fuzz.add_argument("--json", action="store_true")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     def _add_cache_options(parser: argparse.ArgumentParser) -> None:
         parser.add_argument(
@@ -764,6 +859,13 @@ def make_parser() -> argparse.ArgumentParser:
         "--max-inflight-words", type=int, default=0,
         help="admission bound on the summed estimated input words of "
         "work in flight (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--default-request-words", type=int, default=0,
+        help="conservative price charged against --max-inflight-words "
+        "for requests whose cost cannot be estimated up front; lifted "
+        "to the peak-hold of priced requests seen so far (0 = legacy "
+        "behavior, unpriceable requests are admitted at zero cost)",
     )
     p_serve.add_argument(
         "--graph-pool", type=int, default=64,

@@ -72,7 +72,15 @@ def alpha_program(
     def exponentiate(ctx: ProgramContext) -> None:
         dg, sim = ctx.dg, ctx.sim
         if power_adjacency is None:
-            power_graph_adjacency(dg, alpha - 1, out_adj_key="alpha_power_adj")
+            # In-model doubling consults the run's governor (if any):
+            # dense graphs degrade to windowed growth steps instead of
+            # faulting the per-round budget; the balls are identical.
+            power_graph_adjacency(
+                dg,
+                alpha - 1,
+                out_adj_key="alpha_power_adj",
+                governor=getattr(sim, "governor", None),
+            )
 
             def swap_in_power(machine: Machine) -> None:
                 machine.store[ORIGINAL_ADJ] = machine.store[ADJ]

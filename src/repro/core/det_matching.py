@@ -276,6 +276,7 @@ def solve_matching(
     kernel: Optional[str] = None,
     trace: bool = False,
     trace_warn_utilization: float = 0.9,
+    governed: bool = False,
     session_factory=None,
 ) -> "MatchingResult":
     """One-call driver: build the regime, run, verify, return the matching.
@@ -324,6 +325,7 @@ def solve_matching(
         seed=seed, backend=backend, backend_workers=backend_workers,
         kernel=kernel,
         trace=trace, trace_warn_utilization=trace_warn_utilization,
+        governed=governed,
     )
     run = session.run()
     if verify:

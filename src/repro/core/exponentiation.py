@@ -26,6 +26,18 @@ second copy of the balls; gain: per-round ``max_sent``/``max_received``
 shrink by roughly the window fraction.  The default stays unbatched —
 budget-faulting on oversized unbatched growth is itself the model-honest
 behaviour E8 relies on.
+
+Governed growth (``governor``): passing a
+:class:`~repro.mpc.governor.LoadGovernor` replans the window size before
+*every* growth step from the live ball sizes — the peak-hold throttling
+of ROADMAP item 5.  The planner bounds each window's worst per-machine
+round traffic (requests plus snapshot-ball responses) and picks the
+largest halving of ``n`` that fits the governor's budget target; when
+the full window fits, the step runs unbatched and is bit-identical to
+the ungoverned step, rounds included.  Dense graphs that would fault
+the per-round budget unbatched instead degrade to smaller windows and
+complete with the identical balls.  An explicit ``batch_vertices``
+always wins over the governor (the caller pinned the schedule).
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import AlgorithmError
+from repro.mpc.governor import LoadGovernor
 from repro.mpc.graph_store import ADJ, DistributedGraph
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
@@ -65,6 +78,46 @@ def _batch_windows(
     ]
 
 
+def _plan_step_windows(
+    dg: DistributedGraph,
+    governor: LoadGovernor,
+    balls_key: str,
+    adj_key: str,
+    doubling: bool,
+) -> List[Optional[Tuple[int, int]]]:
+    """Ask the governor for this step's window schedule.
+
+    Harvests the live per-vertex ball sizes (and degrees, for single-hop
+    expansion) and hands the governor a conservative per-vertex bound on
+    the round words a windowed vertex draws onto one machine: for a
+    doubling step each member's snapshot ball answer is at most
+    ``max_ball + 1`` words; for an expansion step each incident edge
+    pushes at most ``max_ball + 1`` words.  Everything here is a model
+    quantity, so the plan — like the step it schedules — is
+    deterministic.
+    """
+    harvested = dg.sim.harvest(
+        lambda machine: {
+            v: (len(ball), len(machine.store[adj_key].get(v, ())))
+            for v, ball in machine.store[balls_key].items()
+        }
+    )
+    sizes: Dict[int, Tuple[int, int]] = {}
+    for part in harvested:
+        sizes.update(part)
+    if not sizes:
+        return [None]
+    max_ball = max(size for size, _ in sizes.values())
+    costs: Dict[int, int] = {}
+    for v, (size, degree) in sizes.items():
+        if doubling:
+            costs[v] = (size + 1) * (max_ball + 1)
+        else:
+            costs[v] = (degree + 1) * (max_ball + 1)
+    batch = governor.plan_batch(dg.num_vertices, costs, dg.owner_of)
+    return _batch_windows(dg.num_vertices, batch)
+
+
 def _freeze(sim, balls_key: str) -> None:
     """Snapshot the balls so batched windows all read pre-step state."""
 
@@ -87,6 +140,7 @@ def grow_balls(
     balls_key: str = BALLS,
     adj_key: str = ADJ,
     batch_vertices: Optional[int] = None,
+    governor: Optional[LoadGovernor] = None,
 ) -> int:
     """Compute exactly ``B(v, radius)`` for every active vertex.
 
@@ -95,12 +149,14 @@ def grow_balls(
     Returns the number of doubling steps used; total cost is
     ``2 * doublings + (radius - 2^doublings)`` rounds, multiplied by the
     window count when ``batch_vertices`` is set (see module docstring).
+    With a ``governor`` (and no explicit ``batch_vertices``) each step's
+    window size is replanned from the live ball sizes before it runs.
     """
     if radius < 1:
         raise AlgorithmError(f"radius must be >= 1, got {radius}")
     sim = dg.sim
+    governed = governor is not None and batch_vertices is None
     windows = _batch_windows(dg.num_vertices, batch_vertices)
-    batched = windows != [None]
 
     def init_balls(machine: Machine) -> None:
         adj = machine.store[adj_key]
@@ -112,7 +168,11 @@ def grow_balls(
     reach = 1
     doublings = 0
     while 2 * reach <= radius:
-        if batched:
+        if governed:
+            windows = _plan_step_windows(
+                dg, governor, balls_key, adj_key, doubling=True
+            )
+        if windows != [None]:
             _freeze(sim, balls_key)
             for window in windows:
                 _double(dg, balls_key, _SNAPSHOT, window)
@@ -122,7 +182,11 @@ def grow_balls(
         reach *= 2
         doublings += 1
     while reach < radius:
-        if batched:
+        if governed:
+            windows = _plan_step_windows(
+                dg, governor, balls_key, adj_key, doubling=False
+            )
+        if windows != [None]:
             _freeze(sim, balls_key)
             for window in windows:
                 _expand_one(dg, balls_key, _SNAPSHOT, adj_key, window)
@@ -140,6 +204,7 @@ def power_graph_adjacency(
     adj_key: str = ADJ,
     balls_key: str = BALLS,
     batch_vertices: Optional[int] = None,
+    governor: Optional[LoadGovernor] = None,
 ) -> None:
     """Materialise exact ``G^radius`` adjacency under ``out_adj_key``."""
     grow_balls(
@@ -148,6 +213,7 @@ def power_graph_adjacency(
         balls_key=balls_key,
         adj_key=adj_key,
         batch_vertices=batch_vertices,
+        governor=governor,
     )
 
     def build(machine: Machine) -> None:

@@ -74,6 +74,7 @@ def solve_ruling_set(
     kernel: Optional[str] = None,
     trace: bool = False,
     trace_warn_utilization: float = 0.9,
+    governed: bool = False,
     session_factory: Optional[SessionFactory] = None,
 ) -> RulingSetResult:
     """Compute and verify a ruling set of ``graph``.
@@ -120,6 +121,13 @@ def solve_ruling_set(
         JSONL / Chrome-trace export and budget-headroom warnings at the
         given fraction of ``S``.  Pure observer: traced runs are
         bit-identical to untraced ones.
+    governed:
+        Enable the adaptive load governor (:mod:`repro.mpc.governor`):
+        shard spool chunks and α > 2 in-model exponentiation windows
+        throttle against a peak-hold budget estimate.  Execution
+        strategy under the DESIGN.md §15 contract — members and error
+        texts never change, and runs that needed no throttling are
+        bit-identical to ungoverned ones, rounds included.
     session_factory:
         A :class:`~repro.core.session.SessionFactory` to build the
         session warm (reusing the α > 2 power graph and the regime
@@ -159,6 +167,7 @@ def solve_ruling_set(
         alpha_mem=alpha_mem, config=config, seed=seed,
         backend=backend, backend_workers=backend_workers, kernel=kernel,
         trace=trace, trace_warn_utilization=trace_warn_utilization,
+        governed=governed,
     )
     run = session.run()
     claimed_beta = spec.claimed_beta(graph, alpha, beta)
@@ -191,6 +200,7 @@ def solve_ruling_set_stream(
     chunk_messages: int = 0,
     spill_dir: Optional[str] = None,
     kernel: Optional[str] = None,
+    governed: bool = False,
     in_set_key: str = "result_set",
 ) -> RulingSetResult:
     """Solve a ruling set on an edge-list *file*, out-of-core end to end.
@@ -215,7 +225,10 @@ def solve_ruling_set_stream(
     path exists to avoid.
 
     ``num_shards`` / ``chunk_messages`` / ``spill_dir`` are the
-    :class:`~repro.mpc.shard.ShardBackend` knobs; ingest stats
+    :class:`~repro.mpc.shard.ShardBackend` knobs; ``governed`` throttles
+    the backend's spool flush threshold against the run's peak-hold
+    budget estimate (driver memory only — rounds and members are
+    bit-identical either way); ingest stats
     (``ingest_edges``, ``ingest_max_degree``, ``ingest_checksum``) and
     the backend's residency stats (``shard_max_resident_words`` …) land
     in ``result.metrics``.
@@ -257,6 +270,8 @@ def solve_ruling_set_stream(
     if kernel is not None:
         cfg = cfg.with_kernel(kernel)
     cfg = cfg.with_backend("shard")
+    if governed:
+        cfg = cfg.with_governor()
     cfg.validate_input_size(
         MPCConfig.input_words(stats.num_vertices, stats.declared_edges)
     )

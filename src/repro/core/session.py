@@ -162,6 +162,7 @@ class SolverSession:
         kernel: Optional[str] = None,
         trace: bool = False,
         trace_warn_utilization: float = 0.9,
+        governed: bool = False,
         in_set_key: str = "result_set",
         power_graph: Optional[Graph] = None,
     ) -> None:
@@ -178,6 +179,7 @@ class SolverSession:
         self.kernel = kernel
         self.trace_enabled = trace
         self.trace_warn_utilization = trace_warn_utilization
+        self.governed = governed
         self.in_set_key = in_set_key
         # The α > 2 power graph, built exactly once per session: it
         # sizes the regime AND is handed to the runner for execution.
@@ -235,6 +237,8 @@ class SolverSession:
             cfg = cfg.with_trace(
                 warn_utilization=self.trace_warn_utilization
             )
+        if self.governed and not cfg.governed:
+            cfg = cfg.with_governor()
         cfg.validate_input_size(
             MPCConfig.input_words(
                 self.sizing_graph.num_vertices, self.sizing_graph.num_edges

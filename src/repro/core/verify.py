@@ -18,6 +18,13 @@ from repro.errors import VerificationError
 from repro.graph.graph import Graph
 from repro.graph.properties import UNREACHED, multi_source_distances
 
+__all__ = [
+    "RulingSetCheck",
+    "check_ruling_set",
+    "verify_ruling_set",
+    "verify_maximal_matching",
+]
+
 
 @dataclass(frozen=True)
 class RulingSetCheck:
@@ -120,3 +127,9 @@ def verify_ruling_set(
             f"beta={beta}"
         )
     return check
+
+
+# Matching verification lives next to the matching solvers; re-exported
+# here so harnesses can reach every independent validator through one
+# module (``repro.core.verify``) regardless of problem kind.
+from repro.core.det_matching import verify_maximal_matching  # noqa: E402

@@ -150,6 +150,18 @@ def gnp_random_graph(n: int, p_num: int, p_den: int, seed: int = 0) -> Graph:
     """
     if n < 0:
         raise GraphError("n must be >= 0")
+    if p_den <= 0:
+        raise GraphError(
+            f"edge probability denominator must be positive, got p_den={p_den}"
+        )
+    if p_num < 0:
+        raise GraphError(
+            f"edge probability numerator must be >= 0, got p_num={p_num}"
+        )
+    if p_num > p_den:
+        raise GraphError(
+            f"edge probability p_num/p_den must be <= 1, got {p_num}/{p_den}"
+        )
     rng = SplitMix64(seed=seed)
     edges = []
     for u in range(n):
@@ -163,11 +175,17 @@ def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
     """Uniform random graph with exactly ``m`` edges.
 
     Uses rejection sampling over vertex pairs; requires
-    ``m <= n*(n-1)/2``.
+    ``0 <= m <= n*(n-1)/2``.
     """
+    if n < 0:
+        raise GraphError(f"n must be >= 0, got n={n}")
+    if m < 0:
+        raise GraphError(f"m must be >= 0, got m={m}")
     max_edges = n * (n - 1) // 2
     if m > max_edges:
-        raise GraphError(f"m={m} exceeds max {max_edges} for n={n}")
+        raise GraphError(
+            f"m={m} exceeds the simple-graph maximum {max_edges} for n={n}"
+        )
     rng = SplitMix64(seed=seed)
     builder = GraphBuilder(n)
     while builder.num_edges < m:
@@ -323,6 +341,104 @@ def barbell_graph(clique_size: int, path_length: int) -> Graph:
     for x, y in zip(chain, chain[1:]):
         builder.add_edge(x, y)
     return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Hostile families (ROADMAP item 5)
+# ----------------------------------------------------------------------
+def components_then_giant(
+    num_small: int,
+    small_size: int,
+    giant_size: int,
+    extra_edges: int = 0,
+    seed: int = 0,
+) -> Graph:
+    """Many small components first, one giant component last (by id).
+
+    The adversarial *ordering* family from the related repo's hostile
+    suite: vertex ids ``0 .. num_small*small_size - 1`` form
+    ``num_small`` disjoint small cliques, and the giant component — a
+    random recursive tree plus ``extra_edges`` random chords — occupies
+    the highest ids.  Id-contiguous partitioners (owner maps, batch
+    windows) see a long quiet prefix and then all the load at once,
+    which is exactly what peak-hold throttling has to survive.
+    """
+    if num_small < 0 or small_size < 1 or giant_size < 1 or extra_edges < 0:
+        raise GraphError(
+            "need num_small >= 0, small_size >= 1, giant_size >= 1, "
+            f"extra_edges >= 0, got num_small={num_small}, "
+            f"small_size={small_size}, giant_size={giant_size}, "
+            f"extra_edges={extra_edges}"
+        )
+    n = num_small * small_size + giant_size
+    builder = GraphBuilder(n)
+    for c in range(num_small):
+        base = c * small_size
+        for i in range(small_size):
+            for j in range(i + 1, small_size):
+                builder.add_edge(base + i, base + j)
+    rng = SplitMix64(seed=seed)
+    giant_base = num_small * small_size
+    for offset in range(1, giant_size):
+        builder.add_edge(
+            giant_base + rng.next_below(offset), giant_base + offset
+        )
+    added = 0
+    while added < extra_edges and giant_size >= 2:
+        u = giant_base + rng.next_below(giant_size)
+        v = giant_base + rng.next_below(giant_size)
+        if u != v:
+            builder.add_edge(u, v)
+            added += 1
+    return builder.build()
+
+
+def relabeled_graph(graph: Graph, seed: int = 0) -> Graph:
+    """The same graph under a seeded random permutation of vertex ids.
+
+    Structure-preserving but order-hostile: any assumption that vertex
+    ids correlate with structure (id-contiguous owner maps, id-windowed
+    batching, id-ordered tie breaks) faces a different adversary on the
+    relabeled twin.  Deterministic per ``(graph, seed)``.
+    """
+    n = graph.num_vertices
+    perm = list(range(n))
+    SplitMix64(seed=seed).shuffle(perm)
+    return Graph.from_edges(
+        n, [(perm[u], perm[v]) for u, v in graph.edges()]
+    )
+
+
+def hostile_suite(scale: int = 1, seed: int = 0) -> List[Tuple[str, Graph]]:
+    """The named hostile workloads the fuzzing harness replays.
+
+    Deterministic per ``(scale, seed)``: degree skew (power-law, RMAT,
+    star), density (near-clique G(n, 1/2)), bottlenecks (barbell),
+    domination chains (caterpillar), adversarial component orderings
+    (small components before a giant one), and an id-permuted twin of
+    the ordering family.  ``scale`` multiplies the sizes; scale 1 keeps
+    every cell small enough for exhaustive all-solver replay in CI.
+    """
+    if scale < 1:
+        raise GraphError(f"scale must be >= 1, got {scale}")
+    ctg = components_then_giant(
+        num_small=4 * scale,
+        small_size=3,
+        giant_size=24 * scale,
+        extra_edges=12 * scale,
+        seed=seed,
+    )
+    rmat_scale = 5 + max(0, scale - 1).bit_length()
+    return [
+        ("powerlaw", chung_lu_power_law(48 * scale, seed=seed)),
+        ("rmat", rmat_graph(rmat_scale, edge_factor=4, seed=seed)),
+        ("dense-gnp", gnp_random_graph(20 * scale, 1, 2, seed=seed)),
+        ("star", star_graph(32 * scale)),
+        ("caterpillar", caterpillar_graph(10 * scale, 3)),
+        ("barbell", barbell_graph(6 * scale, 4)),
+        ("components-then-giant", ctg),
+        ("components-then-giant-relabeled", relabeled_graph(ctg, seed=seed + 1)),
+    ]
 
 
 def planted_ruling_set_graph(

@@ -78,6 +78,15 @@ class MPCConfig:
     ``REPRO_KERNEL`` environment variable, then the reference kernel.
     Like ``backend``, this is an execution strategy, never semantics:
     both kernels are bit-identical by contract.
+
+    ``governed`` enables the adaptive load governor
+    (:mod:`repro.mpc.governor`): shard spool chunks and batched
+    exponentiation windows throttle against a peak-hold estimate of the
+    per-round budget utilization.  Execution strategy under the
+    DESIGN.md section 15 contract — results (members, error texts) never
+    change, and at feasible sizes (no throttling needed) the whole run
+    is bit-identical to an ungoverned one.  ``governor_target_percent``
+    is the per-round budget fraction planners aim at.
     """
 
     num_machines: int
@@ -89,6 +98,8 @@ class MPCConfig:
     trace: bool = False
     trace_warn_utilization: float = 0.9
     kernel: Optional[str] = None
+    governed: bool = False
+    governor_target_percent: int = 50
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -107,6 +118,11 @@ class MPCConfig:
             raise MPCConfigError(
                 "trace_warn_utilization must lie in (0, 1], got "
                 f"{self.trace_warn_utilization}"
+            )
+        if not 1 <= self.governor_target_percent <= 100:
+            raise MPCConfigError(
+                "governor_target_percent must lie in [1, 100], got "
+                f"{self.governor_target_percent}"
             )
         if self.kernel is not None:
             from repro.mpc.state_layout import KERNELS
@@ -142,6 +158,22 @@ class MPCConfig:
                 self.trace_warn_utilization
                 if warn_utilization is None
                 else warn_utilization
+            ),
+        )
+
+    def with_governor(
+        self, enabled: bool = True, target_percent: Optional[int] = None
+    ) -> "MPCConfig":
+        """Copy of this config with the load governor toggled."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            governed=enabled,
+            governor_target_percent=(
+                self.governor_target_percent
+                if target_percent is None
+                else target_percent
             ),
         )
 

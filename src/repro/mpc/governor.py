@@ -1,0 +1,306 @@
+"""Adaptive load governing: peak-hold estimation and throttle planning.
+
+ROADMAP item 5: the related repo's fixed sampling rate violated the
+per-round communication cap by ~500x on dense graphs until it was
+throttled against a peak-hold ball-size estimate.  This module is our
+analogue.  A :class:`LoadGovernor` watches the same per-round
+words/memory signals the PR 2 trace layer records and answers three
+questions for the execution layer:
+
+* how large may the shard backend's spool-flush chunks be right now
+  (:meth:`LoadGovernor.scale_chunk`),
+* how many vertices may one batched exponentiation window contain
+  without blowing the per-round budget
+  (:meth:`LoadGovernor.plan_batch`),
+* what should an unpriceable serve request be assumed to cost
+  (:class:`PeakHold`, consulted by the serve daemon's admission
+  estimator).
+
+Governor contract (DESIGN.md section 15)
+----------------------------------------
+
+The governor may adapt *execution strategy* only — spool flush
+thresholds (driver memory), exponentiation window sizes (round
+structure), admission prices (scheduling).  It must never change
+*results*: solver members, message payloads, or error texts.  Two rules
+make that composable:
+
+* **Deterministic inputs only.**  Every signal feeding a governor is a
+  model quantity (words against the budget ``S``) — never wall clock —
+  so a governed run is a pure function of (algorithm, input, config),
+  exactly like an ungoverned one.  Repeating a governed run repeats
+  every throttling decision bit-for-bit.
+* **No-op at feasible sizes.**  Planners return the ungoverned value
+  whenever their conservative bound fits the budget target, so governed
+  and ungoverned runs are bit-identical (members *and* rounds) on
+  workloads that never needed throttling.  Only a workload that would
+  fault the budget ungoverned diverges — by completing in more,
+  smaller rounds.
+
+The governor is **fed by the simulator**, not by the trace: the
+simulator reports the identical quantities to both, so tracing stays a
+pure observer.  :meth:`LoadGovernor.feed_trace` additionally lets a
+governor be primed offline from a recorded :class:`TraceRecorder` —
+e.g. to warm a serve daemon from a previous run's trace — without ever
+closing a feedback loop through a live recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import MPCConfigError
+
+__all__ = ["GovernorPolicy", "LoadGovernor", "PeakHold"]
+
+
+class PeakHold:
+    """Peak-hold of a non-negative word signal, with optional decay.
+
+    The estimator only moves up instantly: any observation at least as
+    large as the held peak replaces it.  Between such observations the
+    peak decays multiplicatively by ``decay_num / decay_den`` per
+    observation (default 1/1 = strict peak hold, the related repo's
+    ball-size estimator).  Integer arithmetic throughout: the held value
+    is a deterministic function of the observation sequence on every
+    platform.
+
+    >>> ph = PeakHold()
+    >>> for words in (10, 80, 30):
+    ...     ph.observe(words)
+    >>> ph.peak
+    80
+    """
+
+    __slots__ = ("peak", "observations", "decay_num", "decay_den")
+
+    def __init__(self, decay_num: int = 1, decay_den: int = 1):
+        if decay_den <= 0 or not 0 < decay_num <= decay_den:
+            raise MPCConfigError(
+                "peak-hold decay must satisfy 0 < num <= den, got "
+                f"{decay_num}/{decay_den}"
+            )
+        self.peak = 0
+        self.observations = 0
+        self.decay_num = decay_num
+        self.decay_den = decay_den
+
+    def observe(self, value: int) -> None:
+        """Fold one observation (negative values clamp to zero)."""
+        value = max(0, int(value))
+        decayed = self.peak * self.decay_num // self.decay_den
+        self.peak = max(value, decayed)
+        self.observations += 1
+
+
+@dataclass(frozen=True)
+class GovernorPolicy:
+    """Tuning knobs for a :class:`LoadGovernor` (all deterministic).
+
+    ``target_num / target_den`` is the fraction of the budget ``S`` a
+    planner aims at — the margin below it absorbs the traffic a
+    conservative bound cannot see (request-round overhead, skewed
+    responder fan-out).  ``chunk_floor`` and ``window_floor`` are the
+    hard minimums throttling may reach; past them the model-honest
+    behaviour is to fault, not to subdivide further.  ``decay_num /
+    decay_den`` is the per-observation peak decay (1/1 = strict hold).
+    """
+
+    target_num: int = 1
+    target_den: int = 2
+    chunk_floor: int = 32
+    window_floor: int = 1
+    decay_num: int = 1
+    decay_den: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target_den <= 0 or not 0 < self.target_num <= self.target_den:
+            raise MPCConfigError(
+                "governor target must satisfy 0 < num <= den, got "
+                f"{self.target_num}/{self.target_den}"
+            )
+        if self.chunk_floor < 1:
+            raise MPCConfigError(
+                f"chunk_floor must be >= 1, got {self.chunk_floor}"
+            )
+        if self.window_floor < 1:
+            raise MPCConfigError(
+                f"window_floor must be >= 1, got {self.window_floor}"
+            )
+        if self.decay_den <= 0 or not 0 < self.decay_num <= self.decay_den:
+            raise MPCConfigError(
+                "governor decay must satisfy 0 < num <= den, got "
+                f"{self.decay_num}/{self.decay_den}"
+            )
+
+
+class LoadGovernor:
+    """Peak-hold load estimator + deterministic throttle planner.
+
+    One governor instance per run, scoped to a budget ``S``
+    (``budget_words``).  The simulator feeds it every communication
+    round (:meth:`observe_round`) and every memory audit
+    (:meth:`observe_memory`); consumers query it between supersteps.
+    All queries are pure functions of the feed history, so two runs
+    with identical model behaviour make identical throttling decisions.
+    """
+
+    def __init__(
+        self, budget_words: int, policy: Optional[GovernorPolicy] = None
+    ):
+        if budget_words < 1:
+            raise MPCConfigError(
+                f"budget_words must be >= 1, got {budget_words}"
+            )
+        self.budget_words = budget_words
+        self.policy = policy if policy is not None else GovernorPolicy()
+        self._round_peak = PeakHold(
+            self.policy.decay_num, self.policy.decay_den
+        )
+        self._memory_peak = PeakHold(
+            self.policy.decay_num, self.policy.decay_den
+        )
+        self._chunk_scalings = 0
+        self._batched_steps = 0
+        self._planned_steps = 0
+
+    # -- feeding --------------------------------------------------------
+    def observe_round(
+        self, *, words: int, max_sent: int, max_received: int
+    ) -> None:
+        """Fold one communication round's traffic (model words)."""
+        del words  # totals are reported for symmetry; peaks drive decisions
+        self._round_peak.observe(max(max_sent, max_received))
+
+    def observe_memory(self, words: int) -> None:
+        """Fold one machine's post-superstep residency."""
+        self._memory_peak.observe(words)
+
+    def feed_trace(self, recorder: Any) -> None:
+        """Prime the estimator from a recorded trace (offline feeding).
+
+        Replays a :class:`~repro.mpc.trace.TraceRecorder`'s round events
+        and machine memory peaks into the peak-hold state.  This is the
+        sanctioned trace/governor coupling: the trace stays a pure
+        observer during a run; a *finished* trace may seed the next
+        run's governor.
+        """
+        for event in recorder.round_events():
+            self.observe_round(
+                words=event["words"],
+                max_sent=event["max_sent"],
+                max_received=event["max_received"],
+            )
+        for words in recorder.machine_peak_words.values():
+            self.observe_memory(words)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def target_words(self) -> int:
+        """The per-round word level planners aim at (a fraction of S)."""
+        policy = self.policy
+        return max(1, self.budget_words * policy.target_num // policy.target_den)
+
+    def peak_round_words(self) -> int:
+        """Peak-hold of per-round ``max(max_sent, max_received)``."""
+        return self._round_peak.peak
+
+    def peak_memory_words(self) -> int:
+        """Peak-hold of per-machine residency."""
+        return self._memory_peak.peak
+
+    def headroom_words(self) -> int:
+        """Budget minus the held round peak, clamped to >= 0."""
+        return max(0, self.budget_words - self._round_peak.peak)
+
+    def scale_chunk(self, base: int) -> int:
+        """Scale a driver-side buffer size by the observed headroom.
+
+        Returns ``base`` until the first round is observed, then shrinks
+        proportionally to the remaining budget headroom, never below
+        ``chunk_floor`` (or ``base`` itself when smaller).  Driver
+        memory only — chunk size never appears in any model quantity, so
+        this is always safe to adapt.
+        """
+        if base < 1:
+            raise MPCConfigError(f"chunk base must be >= 1, got {base}")
+        if self._round_peak.observations == 0:
+            return base
+        floor = min(base, self.policy.chunk_floor)
+        scaled = base * self.headroom_words() // self.budget_words
+        scaled = max(floor, min(base, scaled))
+        if scaled != base:
+            self._chunk_scalings += 1
+        return scaled
+
+    def plan_batch(
+        self,
+        num_vertices: int,
+        per_vertex_words: Dict[int, int],
+        owner_of: Callable[[int], int],
+    ) -> Optional[int]:
+        """Choose a batched-growth window size for one superstep.
+
+        ``per_vertex_words[v]`` is a conservative bound on the round
+        traffic vertex ``v`` contributes to its owner if ``v`` is in the
+        active window; ``owner_of`` maps vertices to machines.  Returns
+        ``None`` (run unbatched — bit-identical to the ungoverned step)
+        when every machine's full-window load fits :attr:`target_words`;
+        otherwise the largest halving of ``num_vertices`` whose worst
+        per-machine per-window load fits, floored at
+        ``policy.window_floor``.  Windows are contiguous global-id
+        ranges, matching ``repro.core.exponentiation._batch_windows``,
+        so the plan is a pure function of (sizes, owners, budget).
+        """
+        self._planned_steps += 1
+        if num_vertices <= 0 or not per_vertex_words:
+            return None
+        target = self.target_words
+        if self._fits(num_vertices, num_vertices, per_vertex_words, owner_of, target):
+            return None
+        batch = num_vertices // 2
+        floor = self.policy.window_floor
+        while batch > floor and not self._fits(
+            num_vertices, batch, per_vertex_words, owner_of, target
+        ):
+            batch //= 2
+        batch = max(floor, batch)
+        self._batched_steps += 1
+        return batch
+
+    @staticmethod
+    def _fits(
+        num_vertices: int,
+        batch: int,
+        per_vertex_words: Dict[int, int],
+        owner_of: Callable[[int], int],
+        target: int,
+    ) -> bool:
+        """Does every machine's load in every window stay under target?"""
+        for lo in range(0, num_vertices, batch):
+            loads: Dict[int, int] = {}
+            for v in range(lo, min(lo + batch, num_vertices)):
+                cost = per_vertex_words.get(v)
+                if not cost:
+                    continue
+                machine = owner_of(v)
+                load = loads.get(machine, 0) + cost
+                if load > target:
+                    return False
+                loads[machine] = load
+        return True
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for benchmarks and traces (reporting only)."""
+        return {
+            "budget_words": self.budget_words,
+            "target_words": self.target_words,
+            "peak_round_words": self._round_peak.peak,
+            "peak_memory_words": self._memory_peak.peak,
+            "rounds_observed": self._round_peak.observations,
+            "chunk_scalings": self._chunk_scalings,
+            "planned_steps": self._planned_steps,
+            "batched_steps": self._batched_steps,
+        }

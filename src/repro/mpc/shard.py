@@ -94,6 +94,7 @@ class ShardBackend(SuperstepBackend):
         self._shard_of: List[int] = []
         self._words: List[int] = []
         self._attached = False
+        self._governor = None
         self._stats = {
             "local_steps": 0,
             "exchange_steps": 0,
@@ -103,7 +104,20 @@ class ShardBackend(SuperstepBackend):
             "chunks_spooled": 0,
             "max_resident_words": 0,
             "max_resident_machines": 0,
+            "governed_exchanges": 0,
+            "min_chunk_messages": 0,
         }
+
+    def attach_governor(self, governor) -> None:
+        """Let a :class:`~repro.mpc.governor.LoadGovernor` throttle spools.
+
+        Under a governor the per-exchange flush threshold shrinks with
+        the observed budget headroom (dense rounds -> smaller resident
+        spool buffers).  Driver memory only: flush boundaries never
+        appear in any model quantity, so governed and ungoverned
+        exchanges deliver bit-identical rounds.
+        """
+        self._governor = governor
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_dir(self) -> str:
@@ -221,6 +235,16 @@ class ShardBackend(SuperstepBackend):
     ) -> ExchangeStats:
         self._attach(machines)
         self._stats["exchange_steps"] += 1
+        chunk_messages = self.chunk_messages
+        if self._governor is not None:
+            chunk_messages = self._governor.scale_chunk(self.chunk_messages)
+            if chunk_messages != self.chunk_messages:
+                self._stats["governed_exchanges"] += 1
+            if (
+                self._stats["min_chunk_messages"] == 0
+                or chunk_messages < self._stats["min_chunk_messages"]
+            ):
+                self._stats["min_chunk_messages"] = chunk_messages
         k = len(machines)
         num_shards = len(self._shards)
         received_words = [0] * k
@@ -269,7 +293,7 @@ class ShardBackend(SuperstepBackend):
                         buffers[dst_sid].append(
                             (message.dst, message.payload)
                         )
-                        if len(buffers[dst_sid]) >= self.chunk_messages:
+                        if len(buffers[dst_sid]) >= chunk_messages:
                             _flush(dst_sid)
                         total_messages += 1
                     total_words += sent_words

@@ -50,6 +50,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import MPCRoutingError, MPCViolationError
 from repro.mpc.backends import SuperstepBackend, resolve_backend
 from repro.mpc.config import MPCConfig
+from repro.mpc.governor import GovernorPolicy, LoadGovernor
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 from repro.mpc.metrics import RunMetrics
@@ -64,6 +65,14 @@ MachineFn = Callable[[Machine], Optional[Iterable[Message]]]
 #: whole refactor-parity oracle under ``--backend shard`` without
 #: touching the frozen oracle cells.
 BACKEND_ENV = "REPRO_BACKEND"
+
+#: Environment override enabling the load governor, mirroring the
+#: backend/kernel overrides: applied only when the config did not opt in
+#: itself, so programmatic choices win.  This is how CI replays the
+#: refactor-parity oracle governed — the oracle's cells are feasible, so
+#: under the DESIGN.md section 15 contract a governed replay must stay
+#: bit-identical.
+GOVERNED_ENV = "REPRO_GOVERNED"
 
 
 class Simulator:
@@ -82,6 +91,7 @@ class Simulator:
         enforce: bool = True,
         backend: Optional[SuperstepBackend] = None,
         trace: Optional[TraceRecorder] = None,
+        governor: Optional[LoadGovernor] = None,
     ):
         self.config = config
         self.enforce = enforce
@@ -102,6 +112,24 @@ class Simulator:
             self.trace = TraceRecorder(config, config.trace_warn_utilization)
         else:
             self.trace = None
+        if governor is not None:
+            self.governor: Optional[LoadGovernor] = governor
+        elif config.governed or os.environ.get(GOVERNED_ENV, "") not in (
+            "", "0", "false",
+        ):
+            self.governor = LoadGovernor(
+                config.memory_words,
+                GovernorPolicy(
+                    target_num=config.governor_target_percent,
+                    target_den=100,
+                ),
+            )
+        else:
+            self.governor = None
+        if self.governor is not None:
+            attach = getattr(self.backend, "attach_governor", None)
+            if attach is not None:
+                attach(self.governor)
 
     # ------------------------------------------------------------------
     # Supersteps
@@ -148,6 +176,14 @@ class Simulator:
                 max_sent=stats.max_sent,
                 max_received=stats.max_received,
             )
+            if self.governor is not None:
+                # Same model quantities the trace records — wall clock
+                # never reaches the governor.
+                self.governor.observe_round(
+                    words=stats.total_words,
+                    max_sent=stats.max_sent,
+                    max_received=stats.max_received,
+                )
             elapsed = time.perf_counter() - started
             self.metrics.record_elapsed(elapsed, is_round=True)
             if self.trace is not None:
@@ -218,6 +254,12 @@ class Simulator:
             max_sent=max_sent,
             max_received=max_received,
         )
+        if self.governor is not None:
+            self.governor.observe_round(
+                words=total_words,
+                max_sent=max_sent,
+                max_received=max_received,
+            )
         elapsed = time.perf_counter() - started
         self.metrics.record_elapsed(elapsed, is_round=True)
         if self.trace is not None:
@@ -297,6 +339,8 @@ class Simulator:
                 self.metrics.record_memory(words)
                 if self.trace is not None:
                     self.trace.record_memory(mid, words, self.metrics.rounds)
+                if self.governor is not None:
+                    self.governor.observe_memory(words)
                 if self.enforce and words > self.config.memory_words:
                     raise MPCViolationError(
                         f"machine {mid} holds {words} words, budget "
@@ -310,6 +354,8 @@ class Simulator:
                 self.trace.record_memory(
                     machine.mid, words, self.metrics.rounds
                 )
+            if self.governor is not None:
+                self.governor.observe_memory(words)
             if self.enforce and words > self.config.memory_words:
                 raise MPCViolationError(
                     f"machine {machine.mid} holds {words} words, budget "

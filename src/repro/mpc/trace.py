@@ -140,22 +140,29 @@ class TraceRecorder:
     ) -> None:
         """Record one communication superstep and audit its budgets."""
         budget = self.config.memory_words
-        self.events.append(
-            {
-                "type": "round",
-                "phase": phase,
-                "round": round_index,
-                **self._advance(elapsed_s),
-                "messages": messages,
-                "words": words,
-                "max_sent": max_sent,
-                "max_received": max_received,
-                "headroom_words": budget - max(max_sent, max_received),
-                "sent_per_machine": list(sent_per_machine),
-                "received_per_machine": list(received_per_machine),
-                "backend": dict(backend_stats),
-            }
-        )
+        # Headroom is clamped at zero: a round past budget (possible
+        # when the simulator runs with enforcement off, e.g. trace-only
+        # probes) is *flagged* with its overshoot rather than silently
+        # reported as negative headroom no auditor ever warns on.
+        raw_headroom = budget - max(max_sent, max_received)
+        event = {
+            "type": "round",
+            "phase": phase,
+            "round": round_index,
+            **self._advance(elapsed_s),
+            "messages": messages,
+            "words": words,
+            "max_sent": max_sent,
+            "max_received": max_received,
+            "headroom_words": max(0, raw_headroom),
+            "sent_per_machine": list(sent_per_machine),
+            "received_per_machine": list(received_per_machine),
+            "backend": dict(backend_stats),
+        }
+        if raw_headroom < 0:
+            event["over_budget_words"] = -raw_headroom
+            self._warn_over_budget(round_index, -raw_headroom, budget)
+        self.events.append(event)
         for mid, sent in enumerate(sent_per_machine):
             self._audit("sent", mid, round_index, sent)
         for mid, received in enumerate(received_per_machine):
@@ -179,11 +186,21 @@ class TraceRecorder:
         return sum(ev["words"] for ev in self.round_events())
 
     def min_headroom_words(self) -> int:
-        """Worst per-round headroom seen (``S`` when no round ran)."""
+        """Worst per-round headroom seen (``S`` when no round ran).
+
+        Never negative: rounds past budget report zero headroom and are
+        counted by :meth:`over_budget_rounds` instead.
+        """
         rounds = self.round_events()
         if not rounds:
             return self.config.memory_words
         return min(ev["headroom_words"] for ev in rounds)
+
+    def over_budget_rounds(self) -> int:
+        """How many recorded rounds exceeded the per-round budget."""
+        return sum(
+            1 for ev in self.round_events() if "over_budget_words" in ev
+        )
 
     # ------------------------------------------------------------------
     # Export
@@ -203,6 +220,7 @@ class TraceRecorder:
             "rounds": len(self.round_events()),
             "total_words": self.total_words(),
             "min_headroom_words": self.min_headroom_words(),
+            "over_budget_rounds": self.over_budget_rounds(),
             "peak_memory_words": max(
                 self.machine_peak_words.values(), default=0
             ),
@@ -321,6 +339,26 @@ class TraceRecorder:
         }
         self._clock_us = round(self._clock_us + dur_us, 3)
         return slot
+
+    def _warn_over_budget(
+        self, round_index: int, overshoot: int, budget: int
+    ) -> None:
+        """Warn that a whole round ran past S (enforcement was off)."""
+        key = ("round-over-budget", -1, round_index)
+        if key in self._warned:
+            return
+        self._warned.add(key)
+        self.warnings.append(
+            {
+                "type": "budget_warning",
+                "kind": "round-over-budget",
+                "machine": -1,
+                "round": round_index,
+                "words": budget + overshoot,
+                "budget": budget,
+                "utilization": round((budget + overshoot) / budget, 4),
+            }
+        )
 
     def _audit(self, kind: str, mid: int, round_index: int, words: int) -> None:
         budget = self.config.memory_words

@@ -56,6 +56,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ServeError
 from repro.mpc.config import MPCConfig
+from repro.mpc.governor import PeakHold
 from repro.serve.engine import BatchEngine
 
 __all__ = [
@@ -97,9 +98,12 @@ def estimate_request_words(data: Dict[str, Any]) -> int:
     ``readline``, never a full read); generator specs from the
     family's expected edge count — both through the same
     :meth:`~repro.mpc.config.MPCConfig.input_words` model the budget
-    checks use.  Anything unpriceable returns 0 (*admit*): admission
-    control sheds load, it does not pre-validate — a malformed request
-    is refused with a real error by the engine, not a guess here.
+    checks use.  Anything unpriceable returns 0: admission control
+    sheds load, it does not pre-validate — a malformed request is
+    refused with a real error by the engine, not a guess here.  The
+    daemon substitutes its conservative price for the zero (see
+    :attr:`AdmissionPolicy.default_request_words`), so unpriceable
+    requests no longer bypass ``max_inflight_words`` entirely.
     """
     source = data.get("graph")
     if not isinstance(source, dict):
@@ -133,10 +137,20 @@ class AdmissionPolicy:
     checked at admission; a request holds its slot and words until its
     response is ready, so the bounds cover work in flight, not just
     work waiting.
+
+    ``default_request_words`` closes the unpriceable-request loophole:
+    a request :func:`estimate_request_words` cannot price used to count
+    zero words against ``max_inflight_words`` — i.e. bypass the inflight
+    cap entirely.  When positive, unpriceable requests are charged
+    ``max(default_request_words, peak priced estimate seen so far)`` —
+    the peak-hold governor's conservative guess (an unknown request is
+    assumed as heavy as the heaviest known one).  0 keeps the legacy
+    admit-at-zero behaviour.
     """
 
     max_queue: int = 64
     max_inflight_words: int = 0
+    default_request_words: int = 0
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
@@ -147,6 +161,11 @@ class AdmissionPolicy:
             raise ServeError(
                 "max_inflight_words must be >= 0 (0 = unbounded), "
                 f"got {self.max_inflight_words}"
+            )
+        if self.default_request_words < 0:
+            raise ServeError(
+                "default_request_words must be >= 0 (0 = legacy "
+                f"admit-at-zero), got {self.default_request_words}"
             )
 
 
@@ -202,6 +221,10 @@ class ServeDaemon:
         self._index = 0
         self._served = 0
         self._refused = 0
+        # Peak-hold of priced estimates: prices unpriceable requests
+        # when the policy opts in via default_request_words.
+        self._load_peak = PeakHold()
+        self._unpriceable_priced = 0
         self._wake = asyncio.Event()
         self._shutdown = asyncio.Event()
         self._executor = ThreadPoolExecutor(
@@ -250,6 +273,16 @@ class ServeDaemon:
         """
         est_words = estimate_request_words(data)
         policy = self.policy
+        if est_words > 0:
+            self._load_peak.observe(est_words)
+        elif policy.default_request_words > 0:
+            # Unpriceable: charge the conservative default, lifted to
+            # the heaviest priced estimate seen (peak-hold governor) —
+            # never a free pass through max_inflight_words.
+            est_words = max(
+                policy.default_request_words, self._load_peak.peak
+            )
+            self._unpriceable_priced += 1
         if self._shutdown.is_set():
             return (
                 self._refusal(
@@ -407,6 +440,9 @@ class ServeDaemon:
             ),
             "max_queue": self.policy.max_queue,
             "max_inflight_words": self.policy.max_inflight_words,
+            "default_request_words": self.policy.default_request_words,
+            "peak_request_words": self._load_peak.peak,
+            "unpriceable_priced": self._unpriceable_priced,
             "workers": self.workers,
             "counters": dict(sorted(self.engine.trace.counters.items())),
             "latency": self.engine.trace.latency_summary(),

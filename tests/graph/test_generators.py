@@ -100,6 +100,31 @@ class TestSeededFamilies:
         with pytest.raises(GraphError):
             gen.gnm_random_graph(4, 7)
 
+    def test_gnm_error_names_the_bad_value(self):
+        with pytest.raises(
+            GraphError,
+            match=r"m=100 exceeds the simple-graph maximum 10 for n=5",
+        ):
+            gen.gnm_random_graph(5, 100)
+        with pytest.raises(GraphError, match=r"m must be >= 0, got m=-3"):
+            gen.gnm_random_graph(5, -3)
+
+    def test_gnp_zero_denominator_names_the_bad_value(self):
+        with pytest.raises(GraphError, match=r"got p_den=0"):
+            gen.gnp_random_graph(10, 1, 0)
+        with pytest.raises(GraphError, match=r"got p_den=-2"):
+            gen.gnp_random_graph(10, 1, -2)
+
+    def test_gnp_negative_numerator_names_the_bad_value(self):
+        with pytest.raises(GraphError, match=r"got p_num=-1"):
+            gen.gnp_random_graph(10, -1, 2)
+
+    def test_gnp_probability_above_one_names_the_fraction(self):
+        with pytest.raises(
+            GraphError, match=r"must be <= 1, got 3/2"
+        ):
+            gen.gnp_random_graph(10, 3, 2)
+
     def test_random_tree_is_tree(self):
         g = gen.random_tree(60, seed=5)
         assert g.num_edges == 59

@@ -1,0 +1,105 @@
+"""Hostile families: determinism, structure, and sweep-order identity."""
+
+import pytest
+
+from repro.analysis.sweep import SweepSpec, failures, run_sweep
+from repro.core.registry import DET_RULING, GP_RULING
+from repro.errors import GraphError
+from repro.graph.generators import (
+    components_then_giant,
+    hostile_suite,
+    relabeled_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_edge_lists(self):
+        for (name_a, graph_a), (name_b, graph_b) in zip(
+            hostile_suite(scale=1, seed=3), hostile_suite(scale=1, seed=3)
+        ):
+            assert name_a == name_b
+            assert list(graph_a.edges()) == list(graph_b.edges())
+            assert graph_a.fingerprint() == graph_b.fingerprint()
+
+    def test_seed_changes_the_seeded_cells(self):
+        by_name_a = dict(hostile_suite(scale=1, seed=0))
+        by_name_b = dict(hostile_suite(scale=1, seed=99))
+        relabeled = "components-then-giant-relabeled"
+        assert (
+            by_name_a[relabeled].fingerprint()
+            != by_name_b[relabeled].fingerprint()
+        )
+
+    def test_components_then_giant_deterministic_per_seed(self):
+        a = components_then_giant(4, 3, 24, extra_edges=12, seed=5)
+        b = components_then_giant(4, 3, 24, extra_edges=12, seed=5)
+        c = components_then_giant(4, 3, 24, extra_edges=12, seed=6)
+        assert list(a.edges()) == list(b.edges())
+        assert list(a.edges()) != list(c.edges())
+
+
+class TestStructure:
+    def test_suite_names_are_unique_and_nonempty(self):
+        cells = hostile_suite()
+        names = [name for name, _ in cells]
+        assert len(names) == len(set(names))
+        assert all(graph.num_vertices > 0 for _, graph in cells)
+
+    def test_scale_grows_the_cells(self):
+        small = dict(hostile_suite(scale=1))
+        large = dict(hostile_suite(scale=2))
+        assert set(small) == set(large)
+        assert all(
+            large[name].num_vertices >= small[name].num_vertices
+            for name in small
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(GraphError):
+            hostile_suite(scale=0)
+
+    def test_relabeled_preserves_the_degree_multiset(self):
+        base = components_then_giant(4, 3, 24, extra_edges=12, seed=0)
+        twin = relabeled_graph(base, seed=7)
+        assert twin.num_vertices == base.num_vertices
+        assert twin.num_edges == base.num_edges
+        assert sorted(twin.degrees()) == sorted(base.degrees())
+
+    def test_relabeling_with_identity_seedless_structure(self):
+        # A permutation is a bijection: relabeling twice with different
+        # seeds still preserves the degree multiset.
+        base = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        once = relabeled_graph(base, seed=1)
+        twice = relabeled_graph(once, seed=2)
+        assert sorted(twice.degrees()) == sorted(base.degrees())
+
+    def test_components_then_giant_ordering(self):
+        # Small cliques occupy the low ids; no edge crosses from the
+        # small-component id range into the giant component's range.
+        graph = components_then_giant(3, 3, 12, extra_edges=4, seed=1)
+        boundary = 3 * 3
+        assert graph.num_vertices == boundary + 12
+        for u, v in graph.edges():
+            assert (u < boundary) == (v < boundary)
+
+
+class TestSweepOrderIdentity:
+    """--jobs N over the hostile suite is record-identical to serial."""
+
+    def test_parallel_sweep_matches_serial(self):
+        workloads = {
+            name: (lambda g=graph: g)
+            for name, graph in hostile_suite(scale=1)
+        }
+        spec = SweepSpec(
+            experiment="hostile-sweep",
+            workloads=workloads,
+            algorithms=[DET_RULING, GP_RULING],
+            beta=2,
+            regime="sublinear",
+        )
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2)
+        assert not failures(serial)
+        assert serial == parallel  # meta (worker, wall) excluded by design

@@ -205,3 +205,47 @@ class TestBudgetAuditor:
 
         with pytest.raises(MPCConfigError):
             cfg.with_trace(warn_utilization=1.5)
+
+
+class TestOverBudgetClamp:
+    """Satellite regression: a round past budget (enforcement off, trace
+    on) must clamp headroom at zero and flag the overshoot — never
+    report negative headroom no auditor warns on."""
+
+    def run_past_budget(self):
+        # 12 words into an S=8 budget: only possible with enforcement
+        # lifted, which is exactly the trace-only probe configuration.
+        cfg = MPCConfig(num_machines=2, memory_words=8).with_trace()
+        sim = Simulator(cfg, enforce=False)
+        sim.communicate(
+            lambda m: [Message(1, tuple(range(12)))] if m.mid == 0 else []
+        )
+        sim.machine(1).clear_inbox()
+        return sim.trace
+
+    def test_headroom_clamped_and_overshoot_flagged(self):
+        trace = self.run_past_budget()
+        (event,) = trace.round_events()
+        assert event["max_sent"] == 12
+        assert event["headroom_words"] == 0  # clamped, not -4
+        assert event["over_budget_words"] == 4
+
+    def test_min_headroom_never_negative(self):
+        trace = self.run_past_budget()
+        assert trace.min_headroom_words() == 0
+        assert trace.over_budget_rounds() == 1
+
+    def test_round_over_budget_warning_emitted(self):
+        trace = self.run_past_budget()
+        over = [
+            w for w in trace.warnings if w["kind"] == "round-over-budget"
+        ]
+        assert len(over) == 1
+        assert over[0]["words"] == 12 and over[0]["budget"] == 8
+        assert over[0]["utilization"] == 1.5
+
+    def test_summary_counts_over_budget_rounds(self):
+        trace = self.run_past_budget()
+        summary = json.loads(trace.jsonl_lines()[-1])
+        assert summary["over_budget_rounds"] == 1
+        assert summary["min_headroom_words"] == 0

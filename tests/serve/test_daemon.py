@@ -440,3 +440,94 @@ class TestEstimates:
             estimate_request_words({"graph": {"family": "gnp", "n": "?"}})
             == 0
         )
+
+
+class TestUnpriceableAdmission:
+    """Satellite regression: unpriceable requests must not bypass the
+    inflight-words cap once a conservative default price is set."""
+
+    def unpriceable(self, rid):
+        # graph is not a dict -> estimate_request_words returns 0.
+        return {"id": rid, "graph": "not-a-spec"}
+
+    def test_estimator_still_returns_zero(self):
+        assert estimate_request_words(self.unpriceable("u")) == 0
+
+    def test_legacy_default_admits_at_zero(self):
+        # default_request_words=0 keeps the historical loophole open
+        # deliberately (opt-in throttling, zero-surprise upgrades).
+        daemon = ServeDaemon(
+            _engine(),
+            policy=AdmissionPolicy(max_queue=4, max_inflight_words=10),
+        )
+
+        async def scenario():
+            refusal, future = daemon.admit(self.unpriceable("u"))
+            return refusal
+
+        assert asyncio.run(scenario()) is None
+
+    def test_default_price_is_charged_against_the_cap(self):
+        daemon = ServeDaemon(
+            _engine(),
+            policy=AdmissionPolicy(
+                max_queue=4,
+                max_inflight_words=50,
+                default_request_words=100,
+            ),
+        )
+
+        async def scenario():
+            refusal, future = daemon.admit(self.unpriceable("u"))
+            assert future is None
+            return refusal
+
+        record = asyncio.run(scenario())
+        assert record["status"] == "refused"
+        assert "max_inflight_words" in record["error"]
+        assert record["_serve"]["est_words"] == 100
+
+    def test_peak_hold_lifts_the_unpriceable_price(self):
+        priced = _request("priced", n=512, param=8)
+        est = estimate_request_words(priced)
+        assert est > 1
+        daemon = ServeDaemon(
+            _engine(),
+            policy=AdmissionPolicy(
+                max_queue=4,
+                max_inflight_words=est + 1,  # room for priced, not 2x
+                default_request_words=1,
+            ),
+        )
+
+        async def scenario():
+            refusal, future = daemon.admit(priced)  # holds est words
+            assert refusal is None
+            return daemon.admit(self.unpriceable("u"))[0]
+
+        record = asyncio.run(scenario())
+        # The unknown request is assumed as heavy as the heaviest known
+        # one: charged est (> default 1), which busts the cap.
+        assert record["status"] == "refused"
+        assert record["_serve"]["est_words"] == est
+        assert daemon.stats()["unpriceable_priced"] == 1
+
+    def test_stats_surface_the_governor_state(self):
+        daemon = ServeDaemon(
+            _engine(),
+            policy=AdmissionPolicy(default_request_words=7),
+        )
+
+        async def scenario():
+            daemon.admit(_request("p", n=64, param=6))
+            daemon.admit(self.unpriceable("u"))
+
+        asyncio.run(scenario())
+        stats = daemon.stats()
+        assert stats["default_request_words"] == 7
+        assert stats["peak_request_words"] > 0
+        assert stats["unpriceable_priced"] == 1
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ServeError, match="default_request_words"):
+            AdmissionPolicy(default_request_words=-1)
